@@ -1,0 +1,69 @@
+"""Benchmark: bisimulation machinery.
+
+The compositional route's cost is dominated by composition plus
+minimisation (the paper leans on CADP's highly tuned BCG_MIN); these
+benchmarks isolate our partition-refinement implementations on the FTWC
+composition products and on the CTMDP quotient.
+"""
+
+import pytest
+
+from repro.bisim.branching import branching_bisimulation, branching_minimize
+from repro.bisim.ctmdp_bisim import ctmdp_minimize
+from repro.bisim.strong import strong_bisimulation
+from repro.models.ftwc import build_system_imc
+from repro.models.ftwc_direct import build_ctmdp
+from repro.models.job_scheduling import build_job_scheduling
+
+
+@pytest.fixture(scope="module")
+def raw_ftwc_imc():
+    """The unminimised closed FTWC composition for N=1."""
+    return build_system_imc(1, minimize_intermediate=False)
+
+
+def test_branching_bisimulation_ftwc(benchmark, raw_ftwc_imc):
+    partition = benchmark(branching_bisimulation, raw_ftwc_imc.imc)
+    benchmark.extra_info["blocks"] = partition.num_blocks
+    benchmark.extra_info["states"] = raw_ftwc_imc.imc.num_states
+
+
+def test_strong_bisimulation_ftwc(benchmark, raw_ftwc_imc):
+    partition = benchmark(strong_bisimulation, raw_ftwc_imc.imc)
+    benchmark.extra_info["blocks"] = partition.num_blocks
+
+
+def test_branching_minimize_with_labels(benchmark, raw_ftwc_imc):
+    def run():
+        return branching_minimize(
+            raw_ftwc_imc.imc, labels=raw_ftwc_imc.premium_flags
+        )
+
+    quotient, _ = benchmark(run)
+    benchmark.extra_info["quotient_states"] = quotient.num_states
+
+
+def test_ctmdp_minimize_symmetric_jobs(benchmark):
+    model = build_job_scheduling([1.0] * 6, processors=2)
+
+    def run():
+        return ctmdp_minimize(
+            model.ctmdp, labels=model.goal_mask.tolist(), respect_actions=False
+        )
+
+    quotient, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Six symmetric jobs collapse to a seven-state counter chain.
+    assert quotient.num_states == 7
+    benchmark.extra_info["states"] = model.ctmdp.num_states
+    benchmark.extra_info["quotient_states"] = quotient.num_states
+
+
+def test_ctmdp_minimize_ftwc(benchmark):
+    model = build_ctmdp(4)
+
+    def run():
+        return ctmdp_minimize(model.ctmdp, labels=model.goal_mask.tolist())
+
+    quotient, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["states"] = model.ctmdp.num_states
+    benchmark.extra_info["quotient_states"] = quotient.num_states

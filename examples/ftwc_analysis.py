@@ -1,0 +1,69 @@
+"""The fault-tolerant workstation cluster, end to end (Section 5).
+
+Reproduces, at laptop-friendly scale, the paper's case study:
+
+1. build the FTWC uCTMDP for a few cluster sizes and print the Table 1
+   model statistics next to the paper's numbers;
+2. compute the worst-case probability of losing premium service within
+   100 h (the property the paper checks);
+3. compare against the CTMC approximation of Haverkort et al. [13]
+   (Figure 4) and observe the overestimation;
+4. cross-validate the direct generator against the fully compositional
+   construction for N=1.
+
+Run with::
+
+    python examples/ftwc_analysis.py
+"""
+
+from repro.analysis.experiments import PAPER_TABLE1, figure4_curves, table1_row
+from repro.analysis.tables import render_figure4, render_table1
+from repro.core import timed_reachability
+from repro.models.ftwc import build_compositional
+from repro.models.ftwc_direct import build_ctmdp
+
+
+def main() -> None:
+    print("=== Table 1 (reproduction; paper columns for comparison) ===")
+    rows = [
+        table1_row(n, time_bounds=(100.0, 30000.0), solve_bounds=(100.0,))
+        for n in (1, 2, 4, 8)
+    ]
+    print(render_table1(rows))
+    print()
+
+    print("=== Figure 4, small panel (N=4) ===")
+    curves = figure4_curves(4, time_points=(0.0, 100.0, 250.0, 500.0), gamma=10.0)
+    print(render_figure4(curves))
+    print()
+    print(
+        "The CTMC column exceeds the worst-case CTMDP column at every "
+        "positive t: replacing the nondeterministic repair-unit "
+        "assignment by fast races adds artificial behaviour, the paper's "
+        "central observation about earlier FTWC studies."
+    )
+    print()
+
+    print("=== Compositional route vs direct generator (N=1) ===")
+    comp = build_compositional(1)
+    direct = build_ctmdp(1)
+    for t in (100.0, 1000.0):
+        value_comp = timed_reachability(comp.ctmdp, comp.goal_mask, t).value(
+            comp.ctmdp.initial
+        )
+        value_direct = timed_reachability(direct.ctmdp, direct.goal_mask, t).value(
+            direct.ctmdp.initial
+        )
+        print(
+            f"t = {t:6.0f} h   compositional = {value_comp:.10e}   "
+            f"direct = {value_direct:.10e}"
+        )
+    print(
+        "\nBoth routes agree to solver precision: the elapse/compose/"
+        "hide/minimise/transform pipeline and the direct counting "
+        "generator describe the same uniform CTMDP."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""Parameter sweeps over the FTWC: sensitivity analysis and CSV export.
+
+The paper evaluates one parameterisation of the workstation cluster;
+a library user typically wants to know how the worst-case risk moves
+with the design parameters.  These sweeps vary
+
+* the cluster size ``N`` (redundancy),
+* the repair rates (maintenance capacity),
+* the failure rates (component quality),
+
+and report the worst-case probability of losing premium service within
+a mission time, each point being one run of Algorithm 1 on a freshly
+generated uniform CTMDP.  ``curves_to_csv`` exports any Figure-4-style
+curve set for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import Figure4Curves
+from repro.core.reachability import timed_reachability
+from repro.models.ftwc_direct import FTWCParameters, build_ctmdp
+
+__all__ = [
+    "SweepPoint",
+    "sweep_cluster_size",
+    "sweep_repair_speed",
+    "sweep_failure_rate",
+    "curves_to_csv",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    parameter: float
+    probability: float
+    states: int
+    uniform_rate: float
+
+
+def _worst_case(params: FTWCParameters, t: float, epsilon: float) -> SweepPoint:
+    model = build_ctmdp(params.n, params)
+    result = timed_reachability(model.ctmdp, model.goal_mask, t, epsilon=epsilon)
+    return SweepPoint(
+        parameter=float("nan"),
+        probability=result.value(model.ctmdp.initial),
+        states=model.ctmdp.num_states,
+        uniform_rate=result.uniform_rate,
+    )
+
+
+def sweep_cluster_size(
+    ns: Sequence[int], t: float = 100.0, epsilon: float = 1e-6
+) -> list[SweepPoint]:
+    """Worst-case non-premium probability as the cluster grows.
+
+    Larger ``N`` means both more redundancy *required* (premium needs
+    ``N`` operational workstations) and more components that can fail;
+    the sweep shows which effect wins.
+    """
+    points = []
+    for n in ns:
+        point = _worst_case(FTWCParameters(n=n), t, epsilon)
+        points.append(replace(point, parameter=float(n)))
+    return points
+
+
+def sweep_repair_speed(
+    n: int,
+    factors: Sequence[float],
+    t: float = 100.0,
+    epsilon: float = 1e-6,
+) -> list[SweepPoint]:
+    """Scale all repair rates by each factor (maintenance capacity)."""
+    points = []
+    for factor in factors:
+        if factor <= 0.0:
+            raise ValueError("repair-speed factors must be positive")
+        base = FTWCParameters(n=n)
+        params = FTWCParameters(
+            n=n,
+            ws_repair=base.ws_repair * factor,
+            sw_repair=base.sw_repair * factor,
+            bb_repair=base.bb_repair * factor,
+        )
+        point = _worst_case(params, t, epsilon)
+        points.append(replace(point, parameter=float(factor)))
+    return points
+
+
+def sweep_failure_rate(
+    n: int,
+    factors: Sequence[float],
+    t: float = 100.0,
+    epsilon: float = 1e-6,
+) -> list[SweepPoint]:
+    """Scale all failure rates by each factor (component quality)."""
+    points = []
+    for factor in factors:
+        if factor <= 0.0:
+            raise ValueError("failure-rate factors must be positive")
+        base = FTWCParameters(n=n)
+        params = FTWCParameters(
+            n=n,
+            ws_fail=base.ws_fail * factor,
+            sw_fail=base.sw_fail * factor,
+            bb_fail=base.bb_fail * factor,
+        )
+        point = _worst_case(params, t, epsilon)
+        points.append(replace(point, parameter=float(factor)))
+    return points
+
+
+def curves_to_csv(curves: Figure4Curves, path: str | Path) -> None:
+    """Export one Figure 4 panel as CSV (for gnuplot/matplotlib/etc.)."""
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        header = ["t_hours", "ctmdp_sup", "ctmc"]
+        if curves.ctmdp_min is not None:
+            header.insert(2, "ctmdp_inf")
+        writer.writerow(header)
+        for idx, t in enumerate(curves.time_points):
+            row = [f"{t:g}", f"{curves.ctmdp_max[idx]:.12e}"]
+            if curves.ctmdp_min is not None:
+                row.append(f"{curves.ctmdp_min[idx]:.12e}")
+            row.append(f"{curves.ctmc[idx]:.12e}")
+            writer.writerow(row)

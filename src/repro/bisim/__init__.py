@@ -1,0 +1,36 @@
+"""Bisimulations: partition refinement, strong & branching variants, lumping."""
+
+from repro.bisim.branching import (
+    branching_bisimulation,
+    branching_minimize,
+    is_stochastic_branching_bisimulation,
+)
+from repro.bisim.compare import are_branching_bisimilar, are_strongly_bisimilar, disjoint_union
+from repro.bisim.ctmdp_bisim import ctmdp_bisimulation, ctmdp_equivalent, ctmdp_minimize
+from repro.bisim.lumping import lump, lumping_partition
+from repro.bisim.partition import Partition, refine_to_fixpoint
+from repro.bisim.quotient import map_labels_through, quotient_imc
+from repro.bisim.strong import strong_bisimulation, strong_minimize
+from repro.bisim.weak import weak_bisimulation, weak_minimize
+
+__all__ = [
+    "are_branching_bisimilar",
+    "are_strongly_bisimilar",
+    "disjoint_union",
+    "branching_bisimulation",
+    "branching_minimize",
+    "is_stochastic_branching_bisimulation",
+    "ctmdp_bisimulation",
+    "ctmdp_equivalent",
+    "ctmdp_minimize",
+    "lump",
+    "lumping_partition",
+    "Partition",
+    "refine_to_fixpoint",
+    "map_labels_through",
+    "quotient_imc",
+    "strong_bisimulation",
+    "strong_minimize",
+    "weak_bisimulation",
+    "weak_minimize",
+]

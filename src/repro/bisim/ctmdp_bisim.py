@@ -1,0 +1,181 @@
+"""Strong bisimulation for CTMDPs: minimisation and equivalence.
+
+Two CTMDP states are strongly bisimilar iff for every transition of one
+there is a transition of the other with the same action label and the
+same cumulative rates into every equivalence class, and vice versa.
+Quotienting by this relation preserves timed reachability for both
+objectives (goal sets must be respected via ``labels``), so it can be
+used to shrink models before value iteration; the disjoint-union variant
+answers whether two independently generated models coincide — our
+analogue of the paper's check that the CADP-built and the PRISM-built
+FTWC agree.
+
+For the latter use the action labels often differ superficially (the
+compositional route labels transitions with hidden-word ``tau``, the
+direct generator with ``g_<kind>``); ``respect_actions=False`` compares
+the rate structure only, which is sound for the label-insensitive
+timed-reachability objective.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.bisim.partition import Partition, refine_to_fixpoint
+from repro.core.ctmdp import CTMDP
+from repro.errors import ModelError
+
+__all__ = ["ctmdp_bisimulation", "ctmdp_minimize", "ctmdp_equivalent"]
+
+_RATE_DIGITS = 12
+
+
+def _signatures(
+    ctmdp: CTMDP, partition: Partition, respect_actions: bool
+) -> list[Hashable]:
+    block_of = partition.block_of
+    matrix = ctmdp.rate_matrix
+    result: list[Hashable] = []
+    for state in range(ctmdp.num_states):
+        lo, hi = ctmdp.choice_ptr[state], ctmdp.choice_ptr[state + 1]
+        choices = set()
+        for row in range(lo, hi):
+            start, end = matrix.indptr[row], matrix.indptr[row + 1]
+            rates: dict[int, float] = {}
+            for target, rate in zip(matrix.indices[start:end], matrix.data[start:end]):
+                block = int(block_of[target])
+                rates[block] = rates.get(block, 0.0) + float(rate)
+            rate_sig = frozenset(
+                (block, round(rate, _RATE_DIGITS)) for block, rate in rates.items()
+            )
+            if respect_actions:
+                choices.add((ctmdp.labels[row], rate_sig))
+            else:
+                choices.add(rate_sig)
+        result.append(frozenset(choices))
+    return result
+
+
+def ctmdp_bisimulation(
+    ctmdp: CTMDP,
+    labels: Sequence[Hashable] | None = None,
+    respect_actions: bool = True,
+) -> Partition:
+    """Coarsest strong bisimulation partition of a CTMDP.
+
+    Parameters
+    ----------
+    ctmdp:
+        The model.
+    labels:
+        Optional atomic propositions (e.g. the goal mask) that blocks
+        must respect.
+    respect_actions:
+        Whether transitions must match on action labels; disable to
+        compare models whose labels differ superficially.
+    """
+    initial = (
+        Partition.from_labels(list(labels))
+        if labels is not None
+        else Partition.trivial(ctmdp.num_states)
+    )
+    return refine_to_fixpoint(
+        initial, lambda p: _signatures(ctmdp, p, respect_actions)
+    )
+
+
+def ctmdp_minimize(
+    ctmdp: CTMDP,
+    labels: Sequence[Hashable] | None = None,
+    respect_actions: bool = True,
+) -> tuple[CTMDP, Partition]:
+    """Quotient a CTMDP by strong bisimilarity.
+
+    Returns the quotient and the partition (map goal masks through it
+    with :func:`repro.bisim.quotient.map_labels_through`).  Duplicate
+    quotient transitions (distinct concrete transitions with identical
+    label and class rates) are collapsed.
+    """
+    partition = ctmdp_bisimulation(ctmdp, labels, respect_actions)
+    canon = partition.canonical()
+    block_of = canon.block_of
+
+    representative: dict[int, int] = {}
+    for state in range(ctmdp.num_states):
+        representative.setdefault(int(block_of[state]), state)
+
+    matrix = ctmdp.rate_matrix
+    transitions: list[tuple[int, str, dict[int, float]]] = []
+    for block, state in sorted(representative.items()):
+        lo, hi = ctmdp.choice_ptr[state], ctmdp.choice_ptr[state + 1]
+        seen: set[tuple[str, frozenset]] = set()
+        for row in range(lo, hi):
+            start, end = matrix.indptr[row], matrix.indptr[row + 1]
+            rates: dict[int, float] = {}
+            for target, rate in zip(matrix.indices[start:end], matrix.data[start:end]):
+                target_block = int(block_of[target])
+                rates[target_block] = rates.get(target_block, 0.0) + float(rate)
+            key = (
+                ctmdp.labels[row] if respect_actions else "",
+                frozenset((b, round(r, _RATE_DIGITS)) for b, r in rates.items()),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            transitions.append((block, ctmdp.labels[row], rates))
+
+    names = None
+    if ctmdp.state_names is not None:
+        names = [""] * canon.num_blocks
+        for state in range(ctmdp.num_states):
+            block = int(block_of[state])
+            if not names[block]:
+                names[block] = ctmdp.state_names[state]
+    quotient = CTMDP.from_transitions(
+        canon.num_blocks,
+        transitions,
+        initial=int(block_of[ctmdp.initial]),
+        state_names=names,
+    )
+    return quotient, canon
+
+
+def ctmdp_equivalent(
+    left: CTMDP,
+    right: CTMDP,
+    left_labels: Sequence[Hashable] | None = None,
+    right_labels: Sequence[Hashable] | None = None,
+    respect_actions: bool = True,
+) -> bool:
+    """Are the initial states of two CTMDPs strongly bisimilar?
+
+    Built on the disjoint union of the two models; optional per-state
+    labels (e.g. goal masks) must be given for both models or neither.
+    """
+    if (left_labels is None) != (right_labels is None):
+        raise ModelError("provide labels for both models or neither")
+    offset = left.num_states
+    transitions: list[tuple[int, str, dict[int, float]]] = []
+    for model, shift in ((left, 0), (right, offset)):
+        matrix = model.rate_matrix
+        for row in range(model.num_transitions):
+            start, end = matrix.indptr[row], matrix.indptr[row + 1]
+            rates = {
+                int(target) + shift: float(rate)
+                for target, rate in zip(
+                    matrix.indices[start:end], matrix.data[start:end]
+                )
+            }
+            transitions.append((int(model.sources[row]) + shift, model.labels[row], rates))
+    union = CTMDP.from_transitions(
+        left.num_states + right.num_states, transitions, initial=left.initial
+    )
+    labels = None
+    if left_labels is not None and right_labels is not None:
+        if len(left_labels) != left.num_states or len(right_labels) != right.num_states:
+            raise ModelError("one label per state required")
+        labels = list(left_labels) + list(right_labels)
+    partition = ctmdp_bisimulation(union, labels, respect_actions)
+    return partition.same_block(left.initial, right.initial + offset)

@@ -1,0 +1,117 @@
+"""Quotient construction for IMC bisimulations."""
+
+from __future__ import annotations
+
+from repro.bisim.partition import Partition
+from repro.errors import ModelError
+from repro.imc.model import IMC, TAU
+
+__all__ = ["quotient_imc", "map_labels_through"]
+
+
+def quotient_imc(imc: IMC, partition: Partition, drop_inert_tau: bool) -> IMC:
+    """Build the quotient IMC of ``imc`` under ``partition``.
+
+    Parameters
+    ----------
+    imc:
+        The original model.
+    partition:
+        A bisimulation partition (the construction is meaningful for any
+        partition, but behaviour is only preserved for bisimulations).
+    drop_inert_tau:
+        For branching-style quotients, ``tau`` transitions inside one
+        block are inert stutter steps and are dropped; strong quotients
+        keep them as ``tau`` self-loops.
+
+    Markov transitions of the quotient are taken from the *stable*
+    members of each block (cumulative per target block); blocks without
+    stable members carry no Markov transitions, reflecting maximal
+    progress.  For valid bisimulations all stable members of a block
+    agree on these rates.
+    """
+    if partition.num_states != imc.num_states:
+        raise ModelError("partition size does not match the IMC state space")
+    canon = partition.canonical()
+    block_of = canon.block_of
+    num_blocks = canon.num_blocks
+
+    interactive: set[tuple[int, str, int]] = set()
+    for src, action, dst in imc.interactive:
+        b_src, b_dst = int(block_of[src]), int(block_of[dst])
+        if drop_inert_tau and action == TAU and b_src == b_dst:
+            continue
+        interactive.add((b_src, action, b_dst))
+
+    if drop_inert_tau:
+        # A block whose members are all unstable must stay unstable in
+        # the quotient: if every member's tau moves were inert (dropped
+        # above), the block is divergent and keeps a tau self-loop.
+        # Otherwise a divergent block would turn into a stable state of
+        # exit rate zero, breaking both behaviour and uniformity.
+        has_stable = [False] * num_blocks
+        for state in range(imc.num_states):
+            if imc.is_stable(state):
+                has_stable[int(block_of[state])] = True
+        has_tau = [False] * num_blocks
+        for b_src, action, _b_dst in interactive:
+            if action == TAU:
+                has_tau[b_src] = True
+        for block in range(num_blocks):
+            if not has_stable[block] and not has_tau[block]:
+                interactive.add((block, TAU, block))
+
+    # One stable representative per block provides the Markov rates.
+    representative: dict[int, int] = {}
+    for state in range(imc.num_states):
+        block = int(block_of[state])
+        if block not in representative and imc.is_stable(state):
+            representative[block] = state
+
+    markov: list[tuple[int, float, int]] = []
+    for block, state in representative.items():
+        rates: dict[int, float] = {}
+        for rate, target in imc.markov_successors(state):
+            target_block = int(block_of[target])
+            rates[target_block] = rates.get(target_block, 0.0) + rate
+        markov.extend((block, rate, target) for target, rate in rates.items() if rate > 0.0)
+
+    names = [""] * num_blocks
+    sizes = [0] * num_blocks
+    for state in range(imc.num_states):
+        block = int(block_of[state])
+        if not names[block]:
+            names[block] = imc.name_of(state)
+        sizes[block] += 1
+    names = [
+        name if size == 1 else f"{name}(+{size - 1})" for name, size in zip(names, sizes)
+    ]
+
+    return IMC(
+        num_states=num_blocks,
+        interactive=sorted(interactive),
+        markov=markov,
+        initial=int(block_of[imc.initial]),
+        state_names=names,
+    )
+
+
+def map_labels_through(partition: Partition, labels: list) -> list:
+    """Project per-state labels onto quotient states.
+
+    All members of one block must carry the same label (guaranteed when
+    the bisimulation was seeded with these labels); the projected list is
+    indexed by block id.
+    """
+    canon = partition.canonical()
+    result: list = [None] * canon.num_blocks
+    filled = [False] * canon.num_blocks
+    for state, label in enumerate(labels):
+        block = int(canon.block_of[state])
+        if filled[block] and result[block] != label:
+            raise ModelError(
+                f"label mismatch inside block {block}: partition does not respect labels"
+            )
+        result[block] = label
+        filled[block] = True
+    return result

@@ -1,0 +1,247 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage examples::
+
+    repro table1 --ns 1 2 4 8 --solve 100
+    repro figure4 --n 4 --t-max 500 --points 11
+    repro compositional --ns 1 2
+    repro export --n 2 --out-prefix /tmp/ftwc2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import (
+    compositional_row,
+    figure4_curves,
+    table1_row,
+)
+from repro.analysis.tables import (
+    render_compositional,
+    render_figure4,
+    render_table1,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Uniformity by construction: regenerate the DSN 2007 FTWC "
+            "experiments (Table 1, Figure 4) and export models."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="model sizes, runtimes, iterations (Table 1)")
+    table1.add_argument("--ns", type=int, nargs="+", default=[1, 2, 4, 8, 16])
+    table1.add_argument(
+        "--solve",
+        type=float,
+        nargs="*",
+        default=[100.0],
+        help="time bounds (hours) to actually solve; iteration counts for "
+        "100h and 30000h are always reported",
+    )
+    table1.add_argument("--epsilon", type=float, default=1e-6)
+
+    figure4 = sub.add_parser("figure4", help="CTMDP worst case vs CTMC (Figure 4)")
+    figure4.add_argument("--n", type=int, default=4)
+    figure4.add_argument("--t-max", type=float, default=500.0)
+    figure4.add_argument("--points", type=int, default=11)
+    figure4.add_argument("--gamma", type=float, default=10.0)
+    figure4.add_argument("--no-min", action="store_true", help="skip the inf curve")
+
+    comp = sub.add_parser(
+        "compositional", help="compositional-route statistics (Section 5)"
+    )
+    comp.add_argument("--ns", type=int, nargs="+", default=[1, 2])
+
+    export = sub.add_parser("export", help="write FTWC models to .tra/.lab/.dot files")
+    export.add_argument("--n", type=int, default=2)
+    export.add_argument("--out-prefix", required=True)
+
+    sweep = sub.add_parser("sweep", help="sensitivity sweeps over FTWC parameters")
+    sweep.add_argument(
+        "--kind", choices=["size", "repair", "failure"], default="repair"
+    )
+    sweep.add_argument("--n", type=int, default=2, help="cluster size (repair/failure sweeps)")
+    sweep.add_argument(
+        "--values",
+        type=float,
+        nargs="+",
+        default=[0.5, 1.0, 2.0, 4.0],
+        help="sizes (kind=size) or scale factors (kind=repair/failure)",
+    )
+    sweep.add_argument("--t", type=float, default=100.0)
+
+    report = sub.add_parser("report", help="write a full Markdown reproduction report")
+    report.add_argument("--out", required=True)
+    report.add_argument(
+        "--scale", choices=["quick", "default", "full"], default="default"
+    )
+
+    query = sub.add_parser(
+        "check",
+        help="evaluate a CSL-style query on the FTWC "
+        '(labels: "no_premium", "premium")',
+    )
+    query.add_argument("query", help='e.g. Pmax=? [ F<=100 "no_premium" ]')
+    query.add_argument("--n", type=int, default=2)
+    query.add_argument("--epsilon", type=float, default=1e-6)
+    query.add_argument(
+        "--ctmc", action="store_true",
+        help="evaluate on the CTMC approximation of [13] instead",
+    )
+
+    sub.add_parser(
+        "selfcheck",
+        help="run the cross-validation battery (independent implementations "
+        "must agree)",
+    )
+
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = [
+        table1_row(
+            n,
+            time_bounds=(100.0, 30000.0),
+            solve_bounds=tuple(args.solve),
+            epsilon=args.epsilon,
+        )
+        for n in args.ns
+    ]
+    print(render_table1(rows))
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    if args.points < 2:
+        print("need at least two time points", file=sys.stderr)
+        return 2
+    step = args.t_max / (args.points - 1)
+    ts = tuple(step * k for k in range(args.points))
+    curves = figure4_curves(
+        args.n, ts, gamma=args.gamma, include_min=not args.no_min
+    )
+    print(render_figure4(curves))
+    return 0
+
+
+def _cmd_compositional(args: argparse.Namespace) -> int:
+    rows = [compositional_row(n) for n in args.ns]
+    print(render_compositional(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import (
+        sweep_cluster_size,
+        sweep_failure_rate,
+        sweep_repair_speed,
+    )
+
+    if args.kind == "size":
+        points = sweep_cluster_size([int(v) for v in args.values], t=args.t)
+        label = "N"
+    elif args.kind == "repair":
+        points = sweep_repair_speed(args.n, args.values, t=args.t)
+        label = "repair-speed factor"
+    else:
+        points = sweep_failure_rate(args.n, args.values, t=args.t)
+        label = "failure-rate factor"
+    print(f"{label:>22s}  {'worst-case P':>14s}  {'states':>8s}  {'E':>8s}")
+    for point in points:
+        print(
+            f"{point.parameter:22g}  {point.probability:14.6e}  "
+            f"{point.states:8d}  {point.uniform_rate:8.4f}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportScale, write_report
+
+    scales = {
+        "quick": ReportScale.quick(),
+        "default": ReportScale(),
+        "full": ReportScale.full(),
+    }
+    path = write_report(args.out, scales[args.scale])
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.logic import check
+    from repro.models.ftwc_direct import build_ctmc, build_ctmdp
+
+    if args.ctmc:
+        chain, _configs, goal = build_ctmc(args.n)
+        model, mask = chain, goal
+    else:
+        built = build_ctmdp(args.n)
+        model, mask = built.ctmdp, built.goal_mask
+    labels = {"no_premium": mask, "premium": ~mask}
+    result = check(args.query, model, labels, epsilon=args.epsilon)
+    print(result)
+    return 0 if result.satisfied in (None, True) else 1
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.analysis.validate import run_selfcheck
+
+    outcomes = run_selfcheck()
+    width = max(len(outcome.name) for outcome in outcomes)
+    for outcome in outcomes:
+        status = "PASS" if outcome.passed else "FAIL"
+        print(f"[{status}] {outcome.name:<{width}}  {outcome.detail}")
+    failed = sum(not outcome.passed for outcome in outcomes)
+    print(f"{len(outcomes) - failed}/{len(outcomes)} checks passed")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.dot import ctmdp_to_dot, write_dot
+    from repro.io.tra import write_ctmdp_tra, write_labels
+    from repro.models.ftwc_direct import build_ctmdp
+
+    model = build_ctmdp(args.n)
+    prefix = args.out_prefix
+    write_ctmdp_tra(model.ctmdp, f"{prefix}.tra")
+    write_labels(model.goal_mask, "no_premium", f"{prefix}.lab")
+    if model.ctmdp.num_states <= 2000:
+        write_dot(ctmdp_to_dot(model.ctmdp), f"{prefix}.dot")
+    print(
+        f"wrote {prefix}.tra ({model.ctmdp.num_states} states, "
+        f"{model.ctmdp.num_transitions} transitions) and {prefix}.lab"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "figure4": _cmd_figure4,
+        "compositional": _cmd_compositional,
+        "export": _cmd_export,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "check": _cmd_check,
+        "selfcheck": _cmd_selfcheck,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,307 @@
+"""Continuous-time Markov decision processes (CTMDPs).
+
+This implements the mild variation of CTMDPs used in the paper
+(Definition 1): a transition is a triple ``(s, a, R)`` of a source state,
+an action label, and a *rate function* ``R : S -> R+``; several
+transitions out of one state may carry the *same* action label, because
+the uIMC-to-uCTMDP transformation naturally produces word-labelled
+transitions that may collide.
+
+Storage follows the paper's implementation notes (Section 4.2): the
+transition relation is kept as sparse matrices storing action and rate
+information separately, with rate functions in one-to-one correspondence
+to the Markov states of the underlying strictly alternating IMC.
+Concretely:
+
+* ``rate_matrix`` is a ``T x S`` CSR matrix, one row per transition
+  (= rate function = Markov state), holding ``R(s')``;
+* ``sources`` maps each row to its source state;
+* ``labels`` holds each row's action label (a *word* after the
+  transformation, cf. Section 4.1);
+* rows are sorted by source state so per-state maximisation can use
+  contiguous segments (``choice_ptr``), the dominant operation of the
+  timed-reachability algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ModelError, NonUniformError
+
+__all__ = ["CTMDP", "Transition"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single CTMDP transition ``(source, action, R)`` in dictionary form."""
+
+    source: int
+    action: str
+    rates: Mapping[int, float]
+
+    def total_rate(self) -> float:
+        """The exit rate ``E_R`` of this transition's rate function."""
+        return float(sum(self.rates.values()))
+
+
+class CTMDP:
+    """A CTMDP with sparse, source-sorted transition storage.
+
+    Use :meth:`from_transitions` to construct instances; the constructor
+    expects already-sorted arrays and is mostly internal.
+    """
+
+    def __init__(
+        self,
+        num_states: int,
+        sources: np.ndarray,
+        labels: list[str],
+        rate_matrix: sp.csr_matrix,
+        initial: int = 0,
+        state_names: list[str] | None = None,
+    ) -> None:
+        if num_states <= 0:
+            raise ModelError("a CTMDP needs at least one state")
+        if rate_matrix.shape != (len(labels), num_states):
+            raise ModelError(
+                f"rate matrix shape {rate_matrix.shape} inconsistent with "
+                f"{len(labels)} transitions over {num_states} states"
+            )
+        if sources.shape != (len(labels),):
+            raise ModelError("one source per transition required")
+        if len(labels) and (np.diff(sources) < 0).any():
+            raise ModelError("transitions must be sorted by source state")
+        if not 0 <= initial < num_states:
+            raise ModelError(f"initial state {initial} out of range")
+        if state_names is not None and len(state_names) != num_states:
+            raise ModelError("state_names length must match the number of states")
+        if rate_matrix.nnz and rate_matrix.data.min() <= 0.0:
+            raise ModelError("stored rates must be strictly positive")
+
+        self.num_states = num_states
+        self.sources = sources.astype(np.int64)
+        self.labels = labels
+        self.rate_matrix = sp.csr_matrix(rate_matrix, dtype=np.float64)
+        self.initial = initial
+        self.state_names = state_names
+
+        # choice_ptr[s] .. choice_ptr[s+1] delimit the transitions of s.
+        counts = np.bincount(self.sources, minlength=num_states)
+        self.choice_ptr = np.concatenate(([0], np.cumsum(counts)))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transitions(
+        cls,
+        num_states: int,
+        transitions: Iterable[tuple[int, str, Mapping[int, float]]],
+        initial: int = 0,
+        state_names: Sequence[str] | None = None,
+    ) -> "CTMDP":
+        """Build a CTMDP from ``(source, action, {target: rate})`` triples.
+
+        Transitions are sorted by source state; empty rate functions are
+        rejected (a transition must lead somewhere).
+        """
+        triples = sorted(
+            ((src, action, dict(rates)) for src, action, rates in transitions),
+            key=lambda item: item[0],
+        )
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        sources: list[int] = []
+        labels: list[str] = []
+        for row, (src, action, rates) in enumerate(triples):
+            if not 0 <= src < num_states:
+                raise ModelError(f"transition source {src} out of range")
+            if not rates:
+                raise ModelError(f"transition ({src}, {action}) has an empty rate function")
+            sources.append(src)
+            labels.append(action)
+            for dst, rate in rates.items():
+                if not 0 <= dst < num_states:
+                    raise ModelError(f"transition target {dst} out of range")
+                if rate <= 0.0:
+                    raise ModelError(f"rates must be positive, got {rate} on ({src}, {action})")
+                rows.append(row)
+                cols.append(dst)
+                data.append(float(rate))
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(len(labels), num_states), dtype=np.float64
+        )
+        matrix.sum_duplicates()
+        return cls(
+            num_states=num_states,
+            sources=np.array(sources, dtype=np.int64),
+            labels=labels,
+            rate_matrix=matrix,
+            initial=initial,
+            state_names=list(state_names) if state_names is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_transitions(self) -> int:
+        """Number of transitions (rate functions / hyperedges)."""
+        return len(self.labels)
+
+    @property
+    def num_rate_entries(self) -> int:
+        """Number of stored positive rates (sparse non-zeros)."""
+        return self.rate_matrix.nnz
+
+    def transitions_of(self, state: int) -> list[Transition]:
+        """All transitions emanating from ``state`` (``R(s)`` in the paper)."""
+        lo, hi = self.choice_ptr[state], self.choice_ptr[state + 1]
+        result = []
+        for row in range(lo, hi):
+            entries = self.rate_matrix.getrow(row)
+            rates = dict(zip(entries.indices.tolist(), entries.data.tolist()))
+            result.append(Transition(source=state, action=self.labels[row], rates=rates))
+        return result
+
+    def num_choices(self, state: int) -> int:
+        """Number of nondeterministic alternatives in ``state``."""
+        return int(self.choice_ptr[state + 1] - self.choice_ptr[state])
+
+    def exit_rates(self) -> np.ndarray:
+        """Per-transition exit rates ``E_R`` (row sums of the rate matrix)."""
+        return np.asarray(self.rate_matrix.sum(axis=1)).ravel()
+
+    def states_without_choices(self) -> np.ndarray:
+        """Indices of absorbing states (no outgoing transition)."""
+        return np.flatnonzero(np.diff(self.choice_ptr) == 0)
+
+    # ------------------------------------------------------------------
+    # Uniformity
+    # ------------------------------------------------------------------
+    def is_uniform(self, tol: float = 1e-9) -> bool:
+        """True iff all transitions share one exit rate ``E`` (uCTMDP)."""
+        exits = self.exit_rates()
+        if len(exits) == 0:
+            return True
+        reference = exits[0]
+        return bool(np.all(np.abs(exits - reference) <= tol * max(1.0, abs(reference))))
+
+    def uniform_rate(self, tol: float = 1e-9) -> float:
+        """The common exit rate ``E`` of a uniform CTMDP.
+
+        Raises
+        ------
+        NonUniformError
+            If exit rates differ; the timed-reachability algorithm would
+            be unsound on such a model.
+        """
+        exits = self.exit_rates()
+        if len(exits) == 0:
+            raise NonUniformError("CTMDP without transitions has no uniform rate")
+        reference = float(exits[0])
+        if not self.is_uniform(tol):
+            spread = (float(exits.min()), float(exits.max()))
+            raise NonUniformError(f"CTMDP is not uniform; exit rates span {spread}")
+        return reference
+
+    def probability_matrix(self) -> sp.csr_matrix:
+        """Row-stochastic ``T x S`` matrix ``P[R, s'] = R(s') / E_R``."""
+        exits = self.exit_rates()
+        inv = sp.diags(1.0 / exits)
+        return sp.csr_matrix(inv @ self.rate_matrix)
+
+    # ------------------------------------------------------------------
+    # Derived models
+    # ------------------------------------------------------------------
+    def induced_ctmc(self, choice: np.ndarray | Sequence[int]):
+        """CTMC induced by a stationary deterministic scheduler.
+
+        ``choice[s]`` selects, per state, an index into
+        ``transitions_of(s)``.  Absorbing states are kept absorbing.
+        """
+        from repro.ctmc.model import CTMC  # local import to avoid a cycle
+
+        choice = np.asarray(choice, dtype=np.int64)
+        if choice.shape != (self.num_states,):
+            raise ModelError("one choice per state required")
+        rows = []
+        for state in range(self.num_states):
+            lo, hi = self.choice_ptr[state], self.choice_ptr[state + 1]
+            if lo == hi:
+                continue
+            if not 0 <= choice[state] < hi - lo:
+                raise ModelError(
+                    f"choice {choice[state]} out of range for state {state} "
+                    f"with {hi - lo} alternatives"
+                )
+            rows.append((state, int(lo + choice[state])))
+        transitions = []
+        for state, row in rows:
+            entries = self.rate_matrix.getrow(row)
+            transitions.extend(
+                (state, dst, rate) for dst, rate in zip(entries.indices, entries.data)
+            )
+        return CTMC.from_transitions(
+            self.num_states,
+            transitions,
+            initial=self.initial,
+            state_names=self.state_names,
+        )
+
+    def embedded_dtmdp(self):
+        """The embedded jump-chain DTMDP.
+
+        States, actions and sources are shared; each rate function
+        becomes its branching distribution.  For *uniform* CTMDPs the
+        embedded DTMDP together with the Poisson jump clock is a
+        complete description of the timed behaviour -- the observation
+        the whole timed-reachability algorithm rests on.
+        """
+        from repro.mdp.model import DTMDP  # local import to avoid a cycle
+
+        return DTMDP(
+            num_states=self.num_states,
+            sources=self.sources.copy(),
+            actions=list(self.labels),
+            probabilities=self.probability_matrix(),
+            initial=self.initial,
+        )
+
+    def memory_bytes(self) -> int:
+        """Approximate size of the sparse representation in bytes.
+
+        Counts the rate matrix (data + indices + indptr), the source
+        array and the per-state choice pointers -- the analogue of the
+        "Mem" column of Table 1.
+        """
+        m = self.rate_matrix
+        return int(
+            m.data.nbytes
+            + m.indices.nbytes
+            + m.indptr.nbytes
+            + self.sources.nbytes
+            + self.choice_ptr.nbytes
+        )
+
+    def statistics(self) -> dict[str, int | float]:
+        """Size statistics in the shape of Table 1's model columns."""
+        return {
+            "states": self.num_states,
+            "transitions": self.num_transitions,
+            "rate_entries": self.num_rate_entries,
+            "max_choices": int(np.diff(self.choice_ptr).max()) if self.num_states else 0,
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CTMDP(states={self.num_states}, transitions={self.num_transitions}, "
+            f"rate_entries={self.num_rate_entries}, initial={self.initial})"
+        )

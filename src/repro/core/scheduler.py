@@ -1,0 +1,133 @@
+"""Schedulers for CTMDPs.
+
+A scheduler (Definition 2 of the paper) resolves the nondeterminism of a
+CTMDP: given the time-abstract history, it selects a distribution over
+the outgoing transitions of the current state.  The library works with
+the class the timed-reachability algorithm optimises over -- randomized
+*time-abstract* (the decision may not depend on sojourn times) *history
+dependent* schedulers -- and with two practically important subclasses:
+
+* :class:`StationaryScheduler` -- deterministic, memoryless; induces a
+  CTMC on the model (used for cross-validation against CTMC analysis);
+* :class:`StepScheduler` -- deterministic, step-counting; the optimal
+  schedulers produced by Algorithm 1 are of this shape (the decision at
+  step ``i`` of the backward recursion depends on the number of jumps
+  performed so far).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.errors import SchedulerError
+
+__all__ = [
+    "Scheduler",
+    "StationaryScheduler",
+    "StepScheduler",
+    "UniformRandomScheduler",
+    "greedy_scheduler_from_decisions",
+]
+
+
+class Scheduler(Protocol):
+    """Protocol: map ``(state, step, history)`` to a transition distribution.
+
+    ``history`` is the time-abstract path prefix as a sequence of
+    ``(state, action)`` pairs; ``step`` is its length.  The returned
+    array holds one probability per transition of ``state`` (in the
+    order of ``ctmdp.transitions_of(state)``).
+    """
+
+    def distribution(
+        self, ctmdp: CTMDP, state: int, step: int, history: Sequence[tuple[int, str]]
+    ) -> np.ndarray:
+        """Distribution over the outgoing transitions of ``state``."""
+        ...  # pragma: no cover - protocol
+
+
+def _check_state_has_choices(ctmdp: CTMDP, state: int) -> int:
+    count = ctmdp.num_choices(state)
+    if count == 0:
+        raise SchedulerError(f"state {state} has no outgoing transitions to schedule")
+    return count
+
+
+@dataclass(frozen=True)
+class StationaryScheduler:
+    """Deterministic memoryless scheduler: one fixed choice per state."""
+
+    choices: np.ndarray
+
+    @classmethod
+    def from_list(cls, choices: Sequence[int]) -> "StationaryScheduler":
+        """Build from a plain list of per-state choice indices."""
+        return cls(choices=np.asarray(choices, dtype=np.int64))
+
+    def distribution(
+        self, ctmdp: CTMDP, state: int, step: int, history: Sequence[tuple[int, str]]
+    ) -> np.ndarray:
+        count = _check_state_has_choices(ctmdp, state)
+        choice = int(self.choices[state])
+        if not 0 <= choice < count:
+            raise SchedulerError(
+                f"choice {choice} out of range for state {state} with {count} alternatives"
+            )
+        result = np.zeros(count)
+        result[choice] = 1.0
+        return result
+
+
+@dataclass(frozen=True)
+class StepScheduler:
+    """Deterministic step-dependent scheduler.
+
+    ``decisions[i][s]`` is the transition index chosen in state ``s``
+    after ``i`` jumps; pasts beyond the recorded horizon reuse the last
+    row (by then the Poisson tail is negligible for the objective the
+    scheduler was extracted for).
+    """
+
+    decisions: np.ndarray
+
+    def distribution(
+        self, ctmdp: CTMDP, state: int, step: int, history: Sequence[tuple[int, str]]
+    ) -> np.ndarray:
+        count = _check_state_has_choices(ctmdp, state)
+        row = min(step, len(self.decisions) - 1)
+        choice = int(self.decisions[row][state])
+        if choice < 0:
+            choice = 0
+        if choice >= count:
+            raise SchedulerError(
+                f"recorded choice {choice} out of range for state {state}"
+            )
+        result = np.zeros(count)
+        result[choice] = 1.0
+        return result
+
+
+@dataclass(frozen=True)
+class UniformRandomScheduler:
+    """Randomized memoryless scheduler giving every transition equal weight."""
+
+    def distribution(
+        self, ctmdp: CTMDP, state: int, step: int, history: Sequence[tuple[int, str]]
+    ) -> np.ndarray:
+        count = _check_state_has_choices(ctmdp, state)
+        return np.full(count, 1.0 / count)
+
+
+def greedy_scheduler_from_decisions(decisions: np.ndarray) -> StepScheduler:
+    """Wrap Algorithm 1's recorded decisions into a :class:`StepScheduler`.
+
+    Algorithm 1 writes the decision of backward index ``i`` into row
+    ``i - 1``; forward execution after ``j`` jumps is governed by
+    backward index ``j + 1``, i.e. row ``j`` -- so the recorded array can
+    be used directly by :class:`StepScheduler`.
+    """
+    return StepScheduler(decisions=np.asarray(decisions, dtype=np.int32))

@@ -1,0 +1,81 @@
+"""Uniformization of CTMDPs.
+
+The paper's whole point is that models should be *uniform by
+construction* -- but a CTMDP that is not uniform (or is uniform at an
+unnecessarily small rate) can also be padded after the fact, exactly
+like Jensen's CTMC uniformization: every rate function whose exit rate
+falls short of the target receives a self-loop making up the
+difference.  Time-abstract scheduler behaviour is unaffected for the
+timed-reachability objective; what changes is the Poisson parameter
+``E t`` and hence the number of value-iteration steps.  The ablation
+benchmark ``benchmarks/test_bench_ablations.py`` measures
+precisely this cost, which is why keeping ``E`` as small as the model
+allows (the by-construction route) matters.
+
+Caveat: unlike for CTMCs, padding a *non-uniform* CTMDP is **not**
+behaviour-preserving in general -- a time-abstract scheduler of the
+padded model observes self-loop jumps the original does not have, which
+can leak timing information.  For models that are already uniform the
+padding is exact (it merely refines the jump clock); the function warns
+about the general case in its docstring rather than guessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.ctmdp import CTMDP
+from repro.errors import ModelError
+
+__all__ = ["uniformize_ctmdp"]
+
+
+def uniformize_ctmdp(ctmdp: CTMDP, rate: float | None = None) -> CTMDP:
+    """Pad every rate function of ``ctmdp`` up to a common exit rate.
+
+    Parameters
+    ----------
+    ctmdp:
+        The model to pad.
+    rate:
+        Target uniform rate; defaults to the maximal exit rate over all
+        transitions.  Must dominate every exit rate.
+
+    Returns
+    -------
+    CTMDP
+        A uniform CTMDP whose transitions carry an additional self-loop
+        rate ``rate - E_R`` where needed.  For already-uniform inputs
+        this is an exact (timed-reachability-preserving) refinement of
+        the jump clock; see the module docstring for the non-uniform
+        caveat.
+    """
+    exits = ctmdp.exit_rates()
+    if len(exits) == 0:
+        raise ModelError("cannot uniformize a CTMDP without transitions")
+    max_exit = float(exits.max())
+    if rate is None:
+        rate = max_exit
+    if rate <= 0.0:
+        raise ModelError("uniformization rate must be positive")
+    if rate < max_exit - 1e-12 * max(1.0, max_exit):
+        raise ModelError(
+            f"uniformization rate {rate} is below the maximal exit rate {max_exit}"
+        )
+
+    deficit = rate - exits
+    deficit[np.abs(deficit) < 1e-14 * max(1.0, rate)] = 0.0
+    rows = np.flatnonzero(deficit > 0.0)
+    loops = sp.csr_matrix(
+        (deficit[rows], (rows, ctmdp.sources[rows])),
+        shape=ctmdp.rate_matrix.shape,
+    )
+    return CTMDP(
+        num_states=ctmdp.num_states,
+        sources=ctmdp.sources.copy(),
+        labels=list(ctmdp.labels),
+        rate_matrix=sp.csr_matrix(ctmdp.rate_matrix + loops),
+        initial=ctmdp.initial,
+        state_names=list(ctmdp.state_names) if ctmdp.state_names else None,
+    )

@@ -1,0 +1,233 @@
+"""Continuous-time Markov chains (CTMCs).
+
+CTMCs appear in the paper in three roles:
+
+* as the *special case* of an IMC whose interactive transition relation is
+  empty (Section 2),
+* as the structural carrier of *phase-type distributions* used by the
+  elapse operator (Section 3), and
+* as the less faithful modelling style against which the CTMDP analysis
+  of the fault-tolerant workstation cluster is compared (Figure 4).
+
+The rate matrix is stored sparsely; self-loop rates are permitted and
+meaningful -- they are exactly what Jensen's uniformization introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ModelError
+
+__all__ = ["CTMC"]
+
+
+def _as_csr(matrix: sp.spmatrix | np.ndarray, n: int) -> sp.csr_matrix:
+    """Coerce ``matrix`` to an ``n x n`` CSR matrix of non-negative rates."""
+    csr = sp.csr_matrix(matrix, dtype=np.float64)
+    if csr.shape != (n, n):
+        raise ModelError(f"rate matrix must be {n}x{n}, got {csr.shape}")
+    if csr.nnz and csr.data.min() < 0.0:
+        raise ModelError("rates must be non-negative")
+    csr.eliminate_zeros()
+    return csr
+
+
+@dataclass
+class CTMC:
+    """A finite continuous-time Markov chain.
+
+    Attributes
+    ----------
+    rates:
+        Sparse ``n x n`` matrix of transition rates; ``rates[s, s']`` is
+        the cumulative rate from ``s`` to ``s'``.  Diagonal entries are
+        genuine self-loop rates (as produced by uniformization), *not*
+        generator diagonals.
+    initial:
+        Index of the initial state.
+    state_names:
+        Optional human-readable names, one per state.
+    """
+
+    rates: sp.csr_matrix
+    initial: int = 0
+    state_names: list[str] | None = None
+
+    def __post_init__(self) -> None:
+        n = self.num_states
+        if n == 0:
+            raise ModelError("a CTMC needs at least one state")
+        self.rates = _as_csr(self.rates, n)
+        if not 0 <= self.initial < n:
+            raise ModelError(f"initial state {self.initial} out of range 0..{n - 1}")
+        if self.state_names is not None and len(self.state_names) != n:
+            raise ModelError("state_names length must match the number of states")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_transitions(
+        cls,
+        num_states: int,
+        transitions: Iterable[tuple[int, int, float]],
+        initial: int = 0,
+        state_names: Sequence[str] | None = None,
+    ) -> "CTMC":
+        """Build a CTMC from ``(source, target, rate)`` triples.
+
+        Multiple triples for the same state pair accumulate, mirroring the
+        cumulative-rate reading ``Rate(s, s')`` used in the paper.
+        """
+        rows, cols, data = [], [], []
+        for src, dst, rate in transitions:
+            if rate < 0.0:
+                raise ModelError(f"negative rate {rate} on transition {src} -> {dst}")
+            if not (0 <= src < num_states and 0 <= dst < num_states):
+                raise ModelError(f"transition {src} -> {dst} out of range")
+            if rate > 0.0:
+                rows.append(src)
+                cols.append(dst)
+                data.append(rate)
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)), shape=(num_states, num_states), dtype=np.float64
+        )
+        matrix.sum_duplicates()
+        names = list(state_names) if state_names is not None else None
+        return cls(rates=matrix, initial=initial, state_names=names)
+
+    @classmethod
+    def from_generator(cls, generator: np.ndarray, initial: int = 0) -> "CTMC":
+        """Build a CTMC from an infinitesimal generator matrix ``Q``.
+
+        Off-diagonal entries become rates; the diagonal is discarded (it
+        is implied by the row sums).  Chains built this way carry no
+        self-loops.
+        """
+        q = np.asarray(generator, dtype=np.float64)
+        if q.ndim != 2 or q.shape[0] != q.shape[1]:
+            raise ModelError("generator must be a square matrix")
+        off = q.copy()
+        np.fill_diagonal(off, 0.0)
+        if (off < 0.0).any():
+            raise ModelError("off-diagonal generator entries must be non-negative")
+        row_sums = off.sum(axis=1)
+        if not np.allclose(-np.diag(q), row_sums, rtol=1e-9, atol=1e-9):
+            raise ModelError("generator diagonal must equal minus the row sums")
+        return cls(rates=sp.csr_matrix(off), initial=initial)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self.rates.shape[0]
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of stored (non-zero cumulative rate) transitions."""
+        return self.rates.nnz
+
+    def exit_rates(self) -> np.ndarray:
+        """Vector of exit rates ``E_s`` (row sums, self-loops included)."""
+        return np.asarray(self.rates.sum(axis=1)).ravel()
+
+    def rate(self, src: int, dst: int) -> float:
+        """Cumulative rate ``Rate(src, dst)``."""
+        return float(self.rates[src, dst])
+
+    def successors(self, state: int) -> list[tuple[int, float]]:
+        """List of ``(target, rate)`` pairs leaving ``state``."""
+        row = self.rates.getrow(state)
+        return list(zip(row.indices.tolist(), row.data.tolist()))
+
+    def is_absorbing(self, state: int) -> bool:
+        """True iff ``state`` has no outgoing rate mass."""
+        return self.rates.indptr[state] == self.rates.indptr[state + 1]
+
+    def absorbing_states(self) -> list[int]:
+        """All states with no outgoing transitions."""
+        return [s for s in range(self.num_states) if self.is_absorbing(s)]
+
+    # ------------------------------------------------------------------
+    # Uniformity
+    # ------------------------------------------------------------------
+    def is_uniform(self, tol: float = 1e-9) -> bool:
+        """Check whether all exit rates agree (within ``tol``).
+
+        This is the CTMC instance of the paper's uniformity notion: the
+        sojourn-time distribution is the same in every state.
+        """
+        exits = self.exit_rates()
+        return bool(np.all(np.abs(exits - exits[0]) <= tol * max(1.0, abs(exits[0]))))
+
+    def uniform_rate(self, tol: float = 1e-9) -> float:
+        """Return the common exit rate of a uniform CTMC.
+
+        Raises
+        ------
+        ModelError
+            If the chain is not uniform.
+        """
+        if not self.is_uniform(tol):
+            raise ModelError("CTMC is not uniform")
+        return float(self.exit_rates()[0])
+
+    # ------------------------------------------------------------------
+    # Derived chains
+    # ------------------------------------------------------------------
+    def embedded_dtmc_matrix(self) -> sp.csr_matrix:
+        """Probability matrix of the embedded jump chain.
+
+        Absorbing states receive a probability-one self-loop so the
+        result is stochastic, the convention used throughout the library.
+        """
+        exits = self.exit_rates()
+        n = self.num_states
+        inv = np.zeros(n)
+        positive = exits > 0.0
+        inv[positive] = 1.0 / exits[positive]
+        scaling = sp.diags(inv)
+        p = sp.csr_matrix(scaling @ self.rates)
+        if not positive.all():
+            absorbing = np.where(~positive)[0]
+            loops = sp.csr_matrix(
+                (np.ones(len(absorbing)), (absorbing, absorbing)), shape=(n, n)
+            )
+            p = sp.csr_matrix(p + loops)
+        return p
+
+    def restricted_to(self, states: Sequence[int]) -> "CTMC":
+        """Sub-chain induced by ``states`` (transitions leaving the set are dropped).
+
+        The first state of ``states`` becomes the initial state unless the
+        original initial state is in the set.
+        """
+        index = {s: i for i, s in enumerate(states)}
+        if self.initial in index:
+            new_initial = index[self.initial]
+        else:
+            new_initial = 0
+        sub = self.rates[np.ix_(list(states), list(states))]
+        names = None
+        if self.state_names is not None:
+            names = [self.state_names[s] for s in states]
+        return CTMC(rates=sp.csr_matrix(sub), initial=new_initial, state_names=names)
+
+    def memory_bytes(self) -> int:
+        """Approximate size of the sparse representation in bytes."""
+        return int(
+            self.rates.data.nbytes + self.rates.indices.nbytes + self.rates.indptr.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CTMC(states={self.num_states}, transitions={self.num_transitions}, "
+            f"initial={self.initial})"
+        )

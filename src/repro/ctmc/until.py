@@ -1,0 +1,47 @@
+"""Time-bounded until for CTMCs.
+
+The standard CSL reduction: for ``A U^{<=t} B``, states outside
+``A + B`` are made absorbing (a path entering one has already violated
+the formula and must not accumulate goal probability later), goal states
+are made absorbing as usual, and a transient analysis of the modified
+chain evaluated on ``B`` gives the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ctmc.model import CTMC
+from repro.ctmc.reachability import goal_mask as _mask, timed_reachability
+from repro.errors import ModelError
+
+__all__ = ["timed_until"]
+
+
+def timed_until(
+    ctmc: CTMC,
+    safe: Iterable[int] | np.ndarray,
+    goal: Iterable[int] | np.ndarray,
+    t: float,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Probability of ``safe U^{<=t} goal`` per state of a CTMC."""
+    n = ctmc.num_states
+    goal_arr = goal if isinstance(goal, np.ndarray) and goal.dtype == bool else _mask(n, goal)
+    safe_arr = safe if isinstance(safe, np.ndarray) and safe.dtype == bool else _mask(n, safe)
+    if goal_arr.shape != (n,) or safe_arr.shape != (n,):
+        raise ModelError("safe/goal masks must cover the state space")
+    blocked = ~(safe_arr | goal_arr)
+
+    # Make blocked states absorbing, then run plain timed reachability.
+    rates = ctmc.rates.tolil(copy=True)
+    for state in np.flatnonzero(blocked):
+        rates.rows[state] = []
+        rates.data[state] = []
+    pruned = CTMC(rates=sp.csr_matrix(rates), initial=ctmc.initial)
+    values = timed_reachability(pruned, goal_arr, t, epsilon=epsilon)
+    values[blocked] = 0.0
+    return values

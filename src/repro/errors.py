@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish model-construction problems from
+numerical ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "NonUniformError",
+    "TransformationError",
+    "NumericalError",
+    "CompositionError",
+    "SchedulerError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """A model (LTS, CTMC, IMC, CTMDP, ...) is structurally invalid.
+
+    Examples: transitions referring to states outside the state space,
+    non-positive rates, an empty state space, or a distribution that does
+    not sum to one.
+    """
+
+
+class NonUniformError(ModelError):
+    """An operation that requires a *uniform* model received a non-uniform one.
+
+    The timed-reachability algorithm of Baier et al. (Algorithm 1 in the
+    paper) is only correct for uniform CTMDPs; this error signals that the
+    precondition was violated rather than silently producing wrong numbers.
+    """
+
+
+class TransformationError(ReproError):
+    """The uIMC-to-uCTMDP transformation cannot be applied.
+
+    Raised for Zeno models (cycles of interactive transitions under the
+    closed-system view), for interactive deadlocks reachable through
+    Markov transitions, and for word-label enumeration blow-ups.
+    """
+
+
+class NumericalError(ReproError):
+    """A numerical routine failed to reach its accuracy contract.
+
+    For instance the Fox-Glynn weighter may underflow for extreme
+    truncation-point / precision combinations.
+    """
+
+
+class CompositionError(ReproError):
+    """Parallel composition / hiding / relabelling received invalid input."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler object is inconsistent with the model it is applied to."""

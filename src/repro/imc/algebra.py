@@ -1,0 +1,196 @@
+"""A small process algebra for building LTSs declaratively.
+
+The paper's models are written in a LOTOS-style process calculus and
+compiled by CADP; this module provides the corresponding front-end for
+the behavioural (interactive) layer: named process equations over
+action prefix, choice, and process references.  Example -- the FTWC
+component of Figure 2::
+
+    spec = ProcessSpec()
+    spec.define("Component", prefix("fail", prefix("g", prefix("rep",
+                prefix("r", ref("Component"))))))
+    component = spec.to_lts("Component")
+
+Terms
+-----
+* ``prefix(action, continuation)`` -- perform ``action``, continue;
+* ``choice(term, term, ...)`` -- nondeterministic alternative;
+* ``ref(name)`` -- jump to a named equation (recursion);
+* ``stop()`` -- deadlock (no transitions).
+
+The compiler explores the term graph, mapping each distinct reachable
+term to one LTS state.  Guardedness is not required for ``choice`` over
+``ref`` (unguarded references are resolved by substitution); genuinely
+unproductive equations like ``X = X`` are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ModelError
+from repro.imc.lts import lts
+from repro.imc.model import IMC
+
+__all__ = ["prefix", "choice", "ref", "stop", "ProcessSpec",
+           "Prefix", "Choice", "Ref", "Stop"]
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """Action prefix ``a . P``."""
+
+    action: str
+    continuation: "Term"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Nondeterministic choice ``P + Q (+ ...)``."""
+
+    alternatives: tuple["Term", ...]
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Reference to a named equation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Stop:
+    """The deadlocked process."""
+
+
+Term = Union[Prefix, Choice, Ref, Stop]
+
+
+def prefix(action: str, continuation: "Term") -> Prefix:
+    """``action . continuation``"""
+    if not action:
+        raise ModelError("actions must be non-empty strings")
+    return Prefix(action=action, continuation=continuation)
+
+
+def choice(*alternatives: "Term") -> Term:
+    """``alternatives[0] + alternatives[1] + ...``"""
+    if not alternatives:
+        return Stop()
+    if len(alternatives) == 1:
+        return alternatives[0]
+    flattened: list[Term] = []
+    for alternative in alternatives:
+        if isinstance(alternative, Choice):
+            flattened.extend(alternative.alternatives)
+        else:
+            flattened.append(alternative)
+    return Choice(alternatives=tuple(flattened))
+
+
+def ref(name: str) -> Ref:
+    """Reference the equation ``name``."""
+    return Ref(name=name)
+
+
+def stop() -> Stop:
+    """The process without behaviour."""
+    return Stop()
+
+
+class ProcessSpec:
+    """A system of named process equations."""
+
+    def __init__(self) -> None:
+        self._equations: dict[str, Term] = {}
+
+    def define(self, name: str, body: Term) -> "ProcessSpec":
+        """Add (or replace) the equation ``name = body``; chainable."""
+        self._equations[name] = body
+        return self
+
+    def _resolve(self, term: Term, unfolding: frozenset[str]) -> Term:
+        """Chase references until the head is a prefix/choice/stop."""
+        while isinstance(term, Ref):
+            if term.name not in self._equations:
+                raise ModelError(f"undefined process {term.name!r}")
+            if term.name in unfolding:
+                raise ModelError(
+                    f"unguarded recursion through {term.name!r} (X = X-style "
+                    "equations have no meaning)"
+                )
+            unfolding = unfolding | {term.name}
+            term = self._equations[term.name]
+        if isinstance(term, Choice):
+            resolved = tuple(
+                self._resolve(alternative, unfolding)
+                for alternative in term.alternatives
+            )
+            return Choice(alternatives=resolved)
+        return term
+
+    def _moves(self, term: Term) -> list[tuple[str, Term]]:
+        """Outgoing ``(action, successor term)`` pairs of a resolved term."""
+        if isinstance(term, Prefix):
+            return [(term.action, term.continuation)]
+        if isinstance(term, Choice):
+            moves: list[tuple[str, Term]] = []
+            for alternative in term.alternatives:
+                moves.extend(self._moves(alternative))
+            return moves
+        if isinstance(term, Stop):
+            return []
+        raise ModelError("unresolved reference in moves()")  # pragma: no cover
+
+    def to_lts(self, root: str) -> IMC:
+        """Compile the equation system, starting from ``root``, to an LTS.
+
+        Each distinct reachable (resolved) term becomes one state; state
+        names show the head equation where one matches, otherwise a
+        rendering of the term.
+        """
+        if root not in self._equations:
+            raise ModelError(f"undefined process {root!r}")
+
+        index: dict[Term, int] = {}
+        names: list[str] = []
+        transitions: list[tuple[int, str, int]] = []
+
+        # Reverse lookup: resolved equation bodies back to their names.
+        body_names: dict[Term, str] = {}
+        for name in self._equations:
+            resolved = self._resolve(Ref(name), frozenset())
+            body_names.setdefault(resolved, name)
+
+        def state_of(term: Term) -> int:
+            if term not in index:
+                index[term] = len(index)
+                names.append(body_names.get(term, _render(term)))
+            return index[term]
+
+        start = self._resolve(Ref(root), frozenset())
+        frontier = [start]
+        state_of(start)
+        seen = {start}
+        while frontier:
+            term = frontier.pop()
+            src = state_of(term)
+            for action, successor in self._moves(term):
+                resolved = self._resolve(successor, frozenset())
+                transitions.append((src, action, state_of(resolved)))
+                if resolved not in seen:
+                    seen.add(resolved)
+                    frontier.append(resolved)
+
+        return lts(len(index), transitions, initial=0, state_names=names)
+
+
+def _render(term: Term) -> str:
+    if isinstance(term, Prefix):
+        return f"{term.action}.{_render(term.continuation)}"
+    if isinstance(term, Choice):
+        return "(" + " + ".join(_render(a) for a in term.alternatives) + ")"
+    if isinstance(term, Ref):
+        return term.name
+    return "stop"

@@ -1,0 +1,109 @@
+"""The elapse operator: phase-type time constraints as uniform IMCs.
+
+``El(Ph, f, r)`` (Section 3 of the paper, a special case of the *time
+constraint* operator of Hermanns & Katoen's plain-old telephone system
+study) wraps a phase-type distribution ``Ph`` into an IMC with
+"synchronisation potential":
+
+* the action ``f`` may occur only once the ``Ph``-distributed delay has
+  elapsed, i.e. only in the distinguished absorbing state ``a`` of the
+  (uniformized) carrier chain;
+* the action ``r`` (re)starts the delay: from every state it leads back
+  to the entry state ``i``.
+
+Because the carrier chain is uniformized before wrapping -- so even the
+absorbing state keeps ticking with a Poisson self-loop -- every state of
+``El(Ph, f, r)`` is stable with exit rate exactly the uniform rate of
+``Ph``.  The elapse IMC is therefore **uniform by construction**, and by
+Lemma 2 it contributes its rate additively to any composition it enters.
+"""
+
+from __future__ import annotations
+
+from repro.ctmc.phase_type import PhaseType
+from repro.errors import CompositionError
+from repro.imc.model import IMC, TAU
+
+__all__ = ["elapse"]
+
+
+def elapse(
+    ph: PhaseType,
+    fire: str,
+    reset: str,
+    uniform_rate: float | None = None,
+    started: bool = True,
+) -> IMC:
+    """Build the time-constraint IMC ``El(ph, fire, reset)``.
+
+    Parameters
+    ----------
+    ph:
+        The delay distribution.  It is uniformized internally (at
+        ``uniform_rate``, defaulting to its maximal exit rate), so any
+        phase-type may be passed.
+    fire:
+        The action whose occurrence is delayed: it is enabled exactly in
+        the absorbing state of the carrier chain and leaves the state
+        unchanged (the environment decides what happens next, typically
+        by synchronising and subsequently issuing ``reset``).
+    reset:
+        The action that (re)starts the delay; enabled in every state,
+        leading to the entry state of the carrier chain.
+    uniform_rate:
+        Optional uniformization rate override; must dominate the maximal
+        exit rate of ``ph``.
+    started:
+        If true (default) the constraint starts with the delay running
+        (entry state); otherwise it starts in the expired state, where
+        ``fire`` is immediately enabled and the first ``reset`` arms the
+        delay.  The FTWC failure constraints start armed, because every
+        component is initially operational.
+
+    Returns
+    -------
+    IMC
+        A uniform IMC over the states of the uniformized carrier chain.
+
+    Raises
+    ------
+    CompositionError
+        If ``fire`` or ``reset`` is ``tau`` (time constraints must be
+        controllable by composition) or if both coincide.
+    """
+    if fire == TAU or reset == TAU:
+        raise CompositionError("elapse actions must be visible (not tau)")
+    if fire == reset:
+        raise CompositionError("elapse needs distinct fire and reset actions")
+
+    uniform = ph.uniformized(uniform_rate)
+    chain = uniform.chain
+    n = chain.num_states
+
+    interactive: list[tuple[int, str, int]] = [(uniform.absorbing, fire, uniform.absorbing)]
+    # Resetting while already at the entry state is a no-op; omitting the
+    # degenerate self-loop avoids spurious Zeno cycles once the reset
+    # action is hidden.
+    interactive.extend(
+        (state, reset, uniform.initial)
+        for state in range(n)
+        if state != uniform.initial
+    )
+
+    markov = [
+        (src, rate, dst)
+        for src in range(n)
+        for dst, rate in chain.successors(src)
+    ]
+
+    names = [f"ph{k}" for k in range(n)]
+    names[uniform.initial] = "armed"
+    names[uniform.absorbing] = "expired"
+
+    return IMC(
+        num_states=n,
+        interactive=interactive,
+        markov=markov,
+        initial=uniform.initial if started else uniform.absorbing,
+        state_names=names,
+    )

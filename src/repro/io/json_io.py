@@ -1,0 +1,182 @@
+"""JSON persistence for IMCs, CTMCs and CTMDPs.
+
+Generated state spaces (a compositional FTWC build, a large direct
+model) are worth caching; this module provides a versioned, schema-
+checked JSON round trip for all three model classes.  The format stores
+transitions explicitly (not matrices), so files are diff-able and
+portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.ctmdp import CTMDP
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+from repro.imc.model import IMC
+
+__all__ = [
+    "imc_to_json",
+    "imc_from_json",
+    "ctmc_to_json",
+    "ctmc_from_json",
+    "ctmdp_to_json",
+    "ctmdp_from_json",
+    "save_model",
+    "load_model",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _header(kind: str) -> dict[str, Any]:
+    return {"format": "repro-model", "version": _FORMAT_VERSION, "kind": kind}
+
+
+def _check_header(data: dict[str, Any], kind: str) -> None:
+    if data.get("format") != "repro-model":
+        raise ModelError("not a repro model document")
+    if data.get("version") != _FORMAT_VERSION:
+        raise ModelError(f"unsupported format version {data.get('version')!r}")
+    if data.get("kind") != kind:
+        raise ModelError(f"expected kind {kind!r}, found {data.get('kind')!r}")
+
+
+def imc_to_json(imc: IMC) -> dict[str, Any]:
+    """Serialise an IMC to a JSON-compatible dictionary."""
+    document = _header("imc")
+    document.update(
+        {
+            "num_states": imc.num_states,
+            "initial": imc.initial,
+            "interactive": [[s, a, t] for s, a, t in imc.interactive],
+            "markov": [[s, r, t] for s, r, t in imc.markov],
+        }
+    )
+    if imc.state_names is not None:
+        document["state_names"] = list(imc.state_names)
+    return document
+
+
+def imc_from_json(data: dict[str, Any]) -> IMC:
+    """Deserialise an IMC."""
+    _check_header(data, "imc")
+    return IMC(
+        num_states=int(data["num_states"]),
+        interactive=[(int(s), str(a), int(t)) for s, a, t in data["interactive"]],
+        markov=[(int(s), float(r), int(t)) for s, r, t in data["markov"]],
+        initial=int(data["initial"]),
+        state_names=list(data["state_names"]) if "state_names" in data else None,
+    )
+
+
+def ctmc_to_json(ctmc: CTMC) -> dict[str, Any]:
+    """Serialise a CTMC."""
+    document = _header("ctmc")
+    matrix = ctmc.rates.tocoo()
+    document.update(
+        {
+            "num_states": ctmc.num_states,
+            "initial": ctmc.initial,
+            "transitions": [
+                [int(s), int(t), float(r)]
+                for s, t, r in zip(matrix.row, matrix.col, matrix.data)
+            ],
+        }
+    )
+    if ctmc.state_names is not None:
+        document["state_names"] = list(ctmc.state_names)
+    return document
+
+
+def ctmc_from_json(data: dict[str, Any]) -> CTMC:
+    """Deserialise a CTMC."""
+    _check_header(data, "ctmc")
+    return CTMC.from_transitions(
+        int(data["num_states"]),
+        [(int(s), int(t), float(r)) for s, t, r in data["transitions"]],
+        initial=int(data["initial"]),
+        state_names=data.get("state_names"),
+    )
+
+
+def ctmdp_to_json(ctmdp: CTMDP) -> dict[str, Any]:
+    """Serialise a CTMDP (one entry per transition/rate function)."""
+    document = _header("ctmdp")
+    matrix = ctmdp.rate_matrix
+    transitions = []
+    for row in range(ctmdp.num_transitions):
+        lo, hi = matrix.indptr[row], matrix.indptr[row + 1]
+        transitions.append(
+            {
+                "source": int(ctmdp.sources[row]),
+                "action": ctmdp.labels[row],
+                "rates": {
+                    str(int(t)): float(r)
+                    for t, r in zip(matrix.indices[lo:hi], matrix.data[lo:hi])
+                },
+            }
+        )
+    document.update(
+        {
+            "num_states": ctmdp.num_states,
+            "initial": ctmdp.initial,
+            "transitions": transitions,
+        }
+    )
+    if ctmdp.state_names is not None:
+        document["state_names"] = list(ctmdp.state_names)
+    return document
+
+
+def ctmdp_from_json(data: dict[str, Any]) -> CTMDP:
+    """Deserialise a CTMDP."""
+    _check_header(data, "ctmdp")
+    return CTMDP.from_transitions(
+        int(data["num_states"]),
+        [
+            (
+                int(entry["source"]),
+                str(entry["action"]),
+                {int(t): float(r) for t, r in entry["rates"].items()},
+            )
+            for entry in data["transitions"]
+        ],
+        initial=int(data["initial"]),
+        state_names=data.get("state_names"),
+    )
+
+
+_SERIALIZERS = {
+    IMC: ("imc", imc_to_json),
+    CTMC: ("ctmc", ctmc_to_json),
+    CTMDP: ("ctmdp", ctmdp_to_json),
+}
+_DESERIALIZERS = {
+    "imc": imc_from_json,
+    "ctmc": ctmc_from_json,
+    "ctmdp": ctmdp_from_json,
+}
+
+
+def save_model(model: IMC | CTMC | CTMDP, path: str | Path) -> None:
+    """Write any supported model to a JSON file."""
+    for cls, (_kind, serializer) in _SERIALIZERS.items():
+        if isinstance(model, cls):
+            Path(path).write_text(
+                json.dumps(serializer(model), indent=1), encoding="utf-8"
+            )
+            return
+    raise ModelError(f"cannot serialise objects of type {type(model).__name__}")
+
+
+def load_model(path: str | Path) -> IMC | CTMC | CTMDP:
+    """Read a model written by :func:`save_model` (kind auto-detected)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    kind = data.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ModelError(f"unknown model kind {kind!r}")
+    return _DESERIALIZERS[kind](data)

@@ -1,0 +1,145 @@
+"""ETMCC/MRMC-style ``.tra`` / ``.lab`` interchange files.
+
+The paper's implementation lives inside the ETMCC model checker, whose
+on-disk format stores transitions as whitespace-separated triples under
+a ``STATES``/``TRANSITIONS`` header.  We support that format for CTMCs
+and a natural extension for CTMDPs (one line per rate entry, carrying
+the transition index and action label), plus the companion ``.lab``
+format mapping states to atomic propositions.  Round-tripping through
+these files is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+
+__all__ = [
+    "write_ctmc_tra",
+    "read_ctmc_tra",
+    "write_ctmdp_tra",
+    "read_ctmdp_tra",
+    "write_labels",
+    "read_labels",
+]
+
+
+def write_ctmc_tra(ctmc: CTMC, path: str | Path) -> None:
+    """Write a CTMC in ETMCC ``.tra`` format (1-based state indices)."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"STATES {ctmc.num_states}\n")
+        handle.write(f"TRANSITIONS {ctmc.num_transitions}\n")
+        matrix = ctmc.rates.tocoo()
+        for src, dst, rate in zip(matrix.row, matrix.col, matrix.data):
+            handle.write(f"{src + 1} {dst + 1} {float(rate)!r}\n")
+
+
+def read_ctmc_tra(path: str | Path, initial: int = 0) -> CTMC:
+    """Read a CTMC from ETMCC ``.tra`` format."""
+    with open(path, "r", encoding="ascii") as handle:
+        num_states = _expect_header(handle, "STATES")
+        num_transitions = _expect_header(handle, "TRANSITIONS")
+        transitions = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            src, dst, rate = line.split()
+            transitions.append((int(src) - 1, int(dst) - 1, float(rate)))
+    if len(transitions) != num_transitions:
+        raise ModelError(
+            f"header announced {num_transitions} transitions, found {len(transitions)}"
+        )
+    return CTMC.from_transitions(num_states, transitions, initial=initial)
+
+
+def write_ctmdp_tra(ctmdp: CTMDP, path: str | Path) -> None:
+    """Write a CTMDP: ``transition-index action source target rate`` lines."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"STATES {ctmdp.num_states}\n")
+        handle.write(f"CHOICES {ctmdp.num_transitions}\n")
+        handle.write(f"INITIAL {ctmdp.initial + 1}\n")
+        matrix = ctmdp.rate_matrix
+        for row in range(ctmdp.num_transitions):
+            src = int(ctmdp.sources[row])
+            action = ctmdp.labels[row]
+            lo, hi = matrix.indptr[row], matrix.indptr[row + 1]
+            for dst, rate in zip(matrix.indices[lo:hi], matrix.data[lo:hi]):
+                handle.write(f"{row + 1} {action} {src + 1} {int(dst) + 1} {float(rate)!r}\n")
+
+
+def read_ctmdp_tra(path: str | Path) -> CTMDP:
+    """Read a CTMDP written by :func:`write_ctmdp_tra`."""
+    with open(path, "r", encoding="ascii") as handle:
+        num_states = _expect_header(handle, "STATES")
+        num_choices = _expect_header(handle, "CHOICES")
+        initial = _expect_header(handle, "INITIAL") - 1
+        rows: dict[int, tuple[int, str, dict[int, float]]] = {}
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row_str, action, src, dst, rate = line.split()
+            row = int(row_str) - 1
+            entry = rows.setdefault(row, (int(src) - 1, action, {}))
+            if entry[0] != int(src) - 1 or entry[1] != action:
+                raise ModelError(f"inconsistent transition metadata in row {row + 1}")
+            entry[2][int(dst) - 1] = float(rate)
+    if len(rows) != num_choices:
+        raise ModelError(f"header announced {num_choices} choices, found {len(rows)}")
+    transitions = [rows[row] for row in sorted(rows)]
+    return CTMDP.from_transitions(num_states, transitions, initial=initial)
+
+
+def write_labels(mask: np.ndarray, proposition: str, path: str | Path) -> None:
+    """Write a boolean state mask as a ``.lab`` file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("#DECLARATION\n")
+        handle.write(f"{proposition}\n")
+        handle.write("#END\n")
+        for state, flag in enumerate(mask):
+            if flag:
+                handle.write(f"{state + 1} {proposition}\n")
+
+
+def read_labels(path: str | Path, num_states: int) -> dict[str, np.ndarray]:
+    """Read a ``.lab`` file into per-proposition boolean masks."""
+    masks: dict[str, np.ndarray] = {}
+    with open(path, "r", encoding="ascii") as handle:
+        line = handle.readline().strip()
+        if line != "#DECLARATION":
+            raise ModelError("missing #DECLARATION header")
+        for line in handle:
+            line = line.strip()
+            if line == "#END":
+                break
+            masks[line] = np.zeros(num_states, dtype=bool)
+        else:
+            raise ModelError("missing #END marker")
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            state_str, *props = line.split()
+            state = int(state_str) - 1
+            if not 0 <= state < num_states:
+                raise ModelError(f"labelled state {state + 1} out of range")
+            for prop in props:
+                if prop not in masks:
+                    raise ModelError(f"undeclared proposition {prop!r}")
+                masks[prop][state] = True
+    return masks
+
+
+def _expect_header(handle: TextIO, keyword: str) -> int:
+    line = handle.readline().strip()
+    parts = line.split()
+    if len(parts) != 2 or parts[0] != keyword:
+        raise ModelError(f"expected '{keyword} <n>' header, got {line!r}")
+    return int(parts[1])

@@ -1,0 +1,31 @@
+"""CSL-style query language over the library's analysis engines."""
+
+from repro.logic.check import CheckResult, check
+from repro.logic.formulas import (
+    Atom,
+    Comparison,
+    ExpectedTimeQuery,
+    Objective,
+    ProbabilityQuery,
+    Query,
+    Reach,
+    SteadyStateQuery,
+    Until,
+)
+from repro.logic.parser import ParseError, parse_query
+
+__all__ = [
+    "CheckResult",
+    "check",
+    "Atom",
+    "Comparison",
+    "ExpectedTimeQuery",
+    "Objective",
+    "ProbabilityQuery",
+    "Query",
+    "Reach",
+    "SteadyStateQuery",
+    "Until",
+    "ParseError",
+    "parse_query",
+]

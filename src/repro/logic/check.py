@@ -1,0 +1,202 @@
+"""Query evaluation: dispatch parsed queries to the analysis engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.core.expected_time import expected_reachability_time
+from repro.core.reachability import timed_reachability, unbounded_reachability
+from repro.core.until import timed_until as ctmdp_timed_until
+from repro.ctmc.hitting import expected_hitting_time
+from repro.ctmc.model import CTMC
+from repro.ctmc.reachability import timed_reachability as ctmc_timed_reachability
+from repro.ctmc.until import timed_until as ctmc_timed_until
+from repro.ctmc.uniformization import steady_state_distribution
+from repro.errors import ModelError
+from repro.logic.formulas import (
+    Atom,
+    Comparison,
+    ExpectedTimeQuery,
+    Objective,
+    ProbabilityQuery,
+    Query,
+    Reach,
+    SteadyStateQuery,
+    Until,
+)
+from repro.logic.parser import parse_query
+
+__all__ = ["CheckResult", "check"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a query evaluation at one state.
+
+    ``value`` is the computed quantity; ``satisfied`` is the verdict for
+    threshold queries and ``None`` for ``=?`` queries.
+    """
+
+    query: Query
+    value: float
+    satisfied: bool | None
+
+    def __str__(self) -> str:
+        verdict = "" if self.satisfied is None else f"  [{self.satisfied}]"
+        return f"{self.query} = {self.value:.10g}{verdict}"
+
+
+def _resolve(atom: Atom, labels: Mapping[str, np.ndarray], n: int) -> np.ndarray:
+    if atom.is_true:
+        return np.ones(n, dtype=bool)
+    if atom.label not in labels:
+        raise ModelError(
+            f"unknown label {atom.label!r}; available: {sorted(labels) or 'none'}"
+        )
+    mask = np.asarray(labels[atom.label], dtype=bool)
+    if mask.shape != (n,):
+        raise ModelError(f"label {atom.label!r} must cover all {n} states")
+    return mask
+
+
+def _verdict(comparison: Comparison, threshold: float | None, value: float) -> bool | None:
+    if comparison is Comparison.QUERY:
+        return None
+    assert threshold is not None
+    return value >= threshold if comparison is Comparison.AT_LEAST else value <= threshold
+
+
+def _probability(
+    query: ProbabilityQuery,
+    model: CTMDP | CTMC,
+    labels: Mapping[str, np.ndarray],
+    state: int,
+    epsilon: float,
+) -> float:
+    is_ctmdp = isinstance(model, CTMDP)
+    if is_ctmdp and query.objective is Objective.NONE:
+        raise ModelError("CTMDP queries need a scheduler quantifier (Pmax/Pmin)")
+    if not is_ctmdp and query.objective is not Objective.NONE:
+        raise ModelError("CTMC queries take plain P (no scheduler quantifier)")
+
+    n = model.num_states
+    path = query.path
+    if isinstance(path, Reach):
+        goal = _resolve(path.goal, labels, n)
+        if isinstance(path.bound, tuple):
+            if is_ctmdp:
+                raise ModelError(
+                    "interval-bounded reachability is supported for CTMCs only"
+                )
+            from repro.ctmc.reachability import interval_reachability
+
+            return interval_reachability(
+                model, goal, path.bound[0], path.bound[1], epsilon=epsilon,
+                initial=state,
+            )
+        if path.bound is None:
+            if is_ctmdp:
+                return float(
+                    unbounded_reachability(model, goal, objective=query.objective.value)[state]
+                )
+            # Unbounded reachability on a CTMC: the embedded jump chain
+            # decides it; reuse the CTMDP machinery on a wrapped model.
+            return float(_ctmc_unbounded(model, goal)[state])
+        if is_ctmdp:
+            result = timed_reachability(
+                model, goal, path.bound, epsilon=epsilon, objective=query.objective.value
+            )
+            return result.value(state)
+        return float(ctmc_timed_reachability(model, goal, path.bound, epsilon=epsilon)[state])
+
+    assert isinstance(path, Until)
+    safe = _resolve(path.safe, labels, n)
+    goal = _resolve(path.goal, labels, n)
+    if path.bound is None:
+        raise ModelError("unbounded until is not supported; use F for plain reachability")
+    if is_ctmdp:
+        result = ctmdp_timed_until(
+            model, safe, goal, path.bound, epsilon=epsilon, objective=query.objective.value
+        )
+        return result.value(state)
+    return float(ctmc_timed_until(model, safe, goal, path.bound, epsilon=epsilon)[state])
+
+
+def _ctmc_unbounded(ctmc: CTMC, goal: np.ndarray) -> np.ndarray:
+    transitions = []
+    for s in range(ctmc.num_states):
+        rates = {dst: rate for dst, rate in ctmc.successors(s)}
+        if rates:
+            transitions.append((s, "only", rates))
+    wrapped = CTMDP.from_transitions(ctmc.num_states, transitions, initial=ctmc.initial)
+    return unbounded_reachability(wrapped, goal, objective="max")
+
+
+def check(
+    query: Query | str,
+    model: CTMDP | CTMC,
+    labels: Mapping[str, np.ndarray] | None = None,
+    state: int | None = None,
+    epsilon: float = 1e-6,
+) -> CheckResult:
+    """Evaluate ``query`` on ``model`` at ``state``.
+
+    Parameters
+    ----------
+    query:
+        A parsed :class:`~repro.logic.formulas.Query` or its textual
+        form (parsed on the fly).
+    model:
+        A (uniform) CTMDP or a CTMC; the query's scheduler quantifier
+        must match the model kind.
+    labels:
+        Maps label names to boolean state masks.
+    state:
+        The state to report (defaults to the model's initial state).
+    epsilon:
+        Numerical precision for the time-bounded engines.
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    labels = labels or {}
+    state = model.initial if state is None else state
+    if not 0 <= state < model.num_states:
+        raise ModelError(f"state {state} out of range")
+
+    if isinstance(query, ProbabilityQuery):
+        value = _probability(query, model, labels, state, epsilon)
+        return CheckResult(
+            query=query,
+            value=value,
+            satisfied=_verdict(query.comparison, query.threshold, value),
+        )
+
+    if isinstance(query, SteadyStateQuery):
+        if not isinstance(model, CTMC):
+            raise ModelError("steady-state queries apply to CTMCs only")
+        mask = _resolve(query.atom, labels, model.num_states)
+        value = float(steady_state_distribution(model) @ mask.astype(float))
+        return CheckResult(
+            query=query,
+            value=value,
+            satisfied=_verdict(query.comparison, query.threshold, value),
+        )
+
+    assert isinstance(query, ExpectedTimeQuery)
+    if isinstance(model, CTMDP):
+        if query.objective is Objective.NONE:
+            raise ModelError("CTMDP expected-time queries need Tmax/Tmin")
+        goal = _resolve(query.goal, labels, model.num_states)
+        value = float(
+            expected_reachability_time(model, goal, objective=query.objective.value)[state]
+        )
+    else:
+        if query.objective is not Objective.NONE:
+            raise ModelError("CTMC expected-time queries take plain T")
+        goal = _resolve(query.goal, labels, model.num_states)
+        value = float(expected_hitting_time(model, goal)[state])
+    return CheckResult(query=query, value=value, satisfied=None)

@@ -1,0 +1,153 @@
+"""Abstract syntax for the supported CSL-style query fragment.
+
+The paper's algorithm is the core of CSL model checking for CTMDPs; this
+package wraps the library's engines behind the query syntax users of
+ETMCC/MRMC/PRISM expect.  The supported fragment covers the paper's
+property class (time-bounded reachability/until, plus the companion
+steady-state and expected-time measures):
+
+====================================  =======================================
+query                                 meaning
+====================================  =======================================
+``Pmax=? [ F<=100 "goal" ]``          max probability to reach within bound
+``Pmin>=0.99 [ "safe" U<=50 "ok" ]``  threshold check on min until-probability
+``P=? [ F "goal" ]``                  probability on a CTMC / unbounded reach
+``S=? [ "premium" ]``                 steady-state probability (CTMC)
+``Tmin=? [ F "down" ]``               min expected hitting time
+====================================  =======================================
+
+Atoms are quoted labels resolved against a caller-supplied label map, or
+``true`` (all states).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Objective",
+    "Comparison",
+    "Atom",
+    "Reach",
+    "Until",
+    "ProbabilityQuery",
+    "SteadyStateQuery",
+    "ExpectedTimeQuery",
+    "Query",
+]
+
+
+class Objective(enum.Enum):
+    """Scheduler quantification."""
+
+    MAX = "max"
+    MIN = "min"
+    NONE = "none"  #: deterministic model (CTMC): no quantifier
+
+
+class Comparison(enum.Enum):
+    """How the computed value is used."""
+
+    QUERY = "=?"  #: return the value
+    AT_LEAST = ">="
+    AT_MOST = "<="
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A state predicate: a quoted label, or ``true``."""
+
+    label: str
+
+    @property
+    def is_true(self) -> bool:
+        """Whether this is the trivial predicate."""
+        return self.label == "true"
+
+    def __str__(self) -> str:
+        return "true" if self.is_true else f'"{self.label}"'
+
+
+@dataclass(frozen=True)
+class Reach:
+    """``F goal``, ``F<=t goal`` or ``F[t1,t2] goal``."""
+
+    goal: Atom
+    bound: float | tuple[float, float] | None = None
+
+    def __str__(self) -> str:
+        if self.bound is None:
+            bound = ""
+        elif isinstance(self.bound, tuple):
+            bound = f"[{self.bound[0]:g},{self.bound[1]:g}]"
+        else:
+            bound = f"<={self.bound:g}"
+        return f"F{bound} {self.goal}"
+
+
+@dataclass(frozen=True)
+class Until:
+    """``safe U goal`` or ``safe U<=t goal``."""
+
+    safe: Atom
+    goal: Atom
+    bound: float | None = None
+
+    def __str__(self) -> str:
+        bound = f"<={self.bound:g}" if self.bound is not None else ""
+        return f"{self.safe} U{bound} {self.goal}"
+
+
+Path = Reach | Until
+
+
+@dataclass(frozen=True)
+class ProbabilityQuery:
+    """``P{max,min,}{=?,>=p,<=p} [ path ]``."""
+
+    objective: Objective
+    comparison: Comparison
+    threshold: float | None
+    path: Path
+
+    def __str__(self) -> str:
+        quantifier = {"max": "Pmax", "min": "Pmin", "none": "P"}[self.objective.value]
+        comparison = (
+            "=?"
+            if self.comparison is Comparison.QUERY
+            else f"{self.comparison.value}{self.threshold:g}"
+        )
+        return f"{quantifier}{comparison} [ {self.path} ]"
+
+
+@dataclass(frozen=True)
+class SteadyStateQuery:
+    """``S{=?,>=p,<=p} [ atom ]`` (CTMCs only)."""
+
+    comparison: Comparison
+    threshold: float | None
+    atom: Atom
+
+    def __str__(self) -> str:
+        comparison = (
+            "=?"
+            if self.comparison is Comparison.QUERY
+            else f"{self.comparison.value}{self.threshold:g}"
+        )
+        return f"S{comparison} [ {self.atom} ]"
+
+
+@dataclass(frozen=True)
+class ExpectedTimeQuery:
+    """``T{max,min,}=? [ F atom ]``."""
+
+    objective: Objective
+    goal: Atom
+
+    def __str__(self) -> str:
+        quantifier = {"max": "Tmax", "min": "Tmin", "none": "T"}[self.objective.value]
+        return f"{quantifier}=? [ F {self.goal} ]"
+
+
+Query = ProbabilityQuery | SteadyStateQuery | ExpectedTimeQuery

@@ -1,0 +1,218 @@
+"""Parser for the CSL-style query fragment.
+
+Hand-written tokenizer plus recursive descent; see
+:mod:`repro.logic.formulas` for the grammar by example.  Errors carry
+the offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.logic.formulas import (
+    Atom,
+    Comparison,
+    ExpectedTimeQuery,
+    Objective,
+    ProbabilityQuery,
+    Query,
+    Reach,
+    SteadyStateQuery,
+    Until,
+)
+
+__all__ = ["parse_query", "ParseError"]
+
+
+class ParseError(ModelError):
+    """The query text is malformed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<STRING>"[^"]*")
+  | (?P<CMPQ>=\?)
+  | (?P<LE><=)
+  | (?P<GE>>=)
+  | (?P<LBRACK>\[)
+  | (?P<RBRACK>\])
+  | (?P<COMMA>,)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind=kind, text=match.group(), position=position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of query: {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} at position {token.position}, got {token.text!r}"
+            )
+        return token
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Query:
+        head = self._expect("NAME").text
+        if head in ("P", "Pmax", "Pmin"):
+            return self._probability(head)
+        if head == "S":
+            return self._steady_state()
+        if head in ("T", "Tmax", "Tmin"):
+            return self._expected_time(head)
+        raise ParseError(f"unknown query head {head!r}")
+
+    def _objective(self, head: str) -> Objective:
+        if head.endswith("max"):
+            return Objective.MAX
+        if head.endswith("min"):
+            return Objective.MIN
+        return Objective.NONE
+
+    def _comparison(self) -> tuple[Comparison, float | None]:
+        token = self._next()
+        if token.kind == "CMPQ":
+            return Comparison.QUERY, None
+        if token.kind in ("GE", "LE"):
+            threshold = float(self._expect("NUMBER").text)
+            if not 0.0 <= threshold <= 1.0:
+                raise ParseError("probability thresholds must lie in [0, 1]")
+            comparison = Comparison.AT_LEAST if token.kind == "GE" else Comparison.AT_MOST
+            return comparison, threshold
+        raise ParseError(
+            f"expected =?, >= or <= at position {token.position}, got {token.text!r}"
+        )
+
+    def _atom(self) -> Atom:
+        token = self._next()
+        if token.kind == "STRING":
+            return Atom(label=token.text[1:-1])
+        if token.kind == "NAME" and token.text == "true":
+            return Atom(label="true")
+        raise ParseError(
+            f'expected a quoted label or true at position {token.position}, '
+            f"got {token.text!r}"
+        )
+
+    def _bound(self) -> float | tuple[float, float] | None:
+        token = self._peek()
+        if token is not None and token.kind == "LE":
+            self._next()
+            return float(self._expect("NUMBER").text)
+        if token is not None and token.kind == "LBRACK":
+            self._next()
+            start = float(self._expect("NUMBER").text)
+            self._expect("COMMA")
+            end = float(self._expect("NUMBER").text)
+            self._expect("RBRACK")
+            if end < start:
+                raise ParseError("interval bounds must satisfy t1 <= t2")
+            return (start, end)
+        return None
+
+    def _path(self) -> Reach | Until:
+        token = self._peek()
+        if token is not None and token.kind == "NAME" and token.text == "F":
+            self._next()
+            bound = self._bound()
+            return Reach(goal=self._atom(), bound=bound)
+        safe = self._atom()
+        u = self._expect("NAME")
+        if u.text != "U":
+            raise ParseError(f"expected U at position {u.position}, got {u.text!r}")
+        bound = self._bound()
+        return Until(safe=safe, goal=self._atom(), bound=bound)
+
+    def _probability(self, head: str) -> ProbabilityQuery:
+        comparison, threshold = self._comparison()
+        self._expect("LBRACK")
+        path = self._path()
+        self._expect("RBRACK")
+        self._done()
+        return ProbabilityQuery(
+            objective=self._objective(head),
+            comparison=comparison,
+            threshold=threshold,
+            path=path,
+        )
+
+    def _steady_state(self) -> SteadyStateQuery:
+        comparison, threshold = self._comparison()
+        self._expect("LBRACK")
+        atom = self._atom()
+        self._expect("RBRACK")
+        self._done()
+        return SteadyStateQuery(comparison=comparison, threshold=threshold, atom=atom)
+
+    def _expected_time(self, head: str) -> ExpectedTimeQuery:
+        token = self._next()
+        if token.kind != "CMPQ":
+            raise ParseError("expected-time queries only support =?")
+        self._expect("LBRACK")
+        f = self._expect("NAME")
+        if f.text != "F":
+            raise ParseError(f"expected F at position {f.position}, got {f.text!r}")
+        atom = self._atom()
+        self._expect("RBRACK")
+        self._done()
+        return ExpectedTimeQuery(objective=self._objective(head), goal=atom)
+
+    def _done(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(
+                f"trailing input at position {token.position}: {token.text!r}"
+            )
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into its AST.
+
+    Raises
+    ------
+    ParseError
+        With position information if the text is malformed.
+    """
+    return _Parser(text).parse()

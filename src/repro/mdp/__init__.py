@@ -1,0 +1,6 @@
+"""Discrete-time substrate: DTMC, DTMDP, value iteration."""
+
+from repro.mdp.model import DTMC, DTMDP
+from repro.mdp.value_iteration import bounded_reachability, unbounded_reachability
+
+__all__ = ["DTMC", "DTMDP", "bounded_reachability", "unbounded_reachability"]

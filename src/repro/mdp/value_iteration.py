@@ -1,0 +1,88 @@
+"""Value iteration for discrete-time MDPs.
+
+Step-bounded and unbounded reachability.  The step-bounded variant is
+the discrete skeleton of Algorithm 1: the continuous-time algorithm is
+this recursion with each step weighted by a Poisson probability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mdp.model import DTMDP
+
+__all__ = ["bounded_reachability", "unbounded_reachability"]
+
+
+def _mask(mdp: DTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
+    if isinstance(goal, np.ndarray) and goal.dtype == bool:
+        if goal.shape != (mdp.num_states,):
+            raise ModelError("goal mask shape mismatch")
+        return goal
+    mask = np.zeros(mdp.num_states, dtype=bool)
+    for g in goal:  # type: ignore[union-attr]
+        mask[g] = True
+    return mask
+
+
+def _segments(mdp: DTMDP) -> tuple[np.ndarray, np.ndarray]:
+    counts = np.diff(mdp.choice_ptr)
+    nonempty = counts > 0
+    return nonempty, mdp.choice_ptr[:-1][nonempty]
+
+
+def bounded_reachability(
+    mdp: DTMDP, goal: Iterable[int] | np.ndarray, steps: int, objective: str = "max"
+) -> np.ndarray:
+    """Optimal probability to reach ``goal`` within ``steps`` steps.
+
+    States without actions are absorbing with value zero (unless they
+    are goal states, which always carry value one).
+    """
+    if objective not in ("max", "min"):
+        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    if steps < 0:
+        raise ModelError("step bound must be non-negative")
+    mask = _mask(mdp, goal)
+    nonempty, starts = _segments(mdp)
+    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+
+    q = mask.astype(np.float64)
+    for _ in range(steps):
+        values = mdp.probabilities @ q
+        new_q = np.zeros(mdp.num_states)
+        if len(starts):
+            new_q[nonempty] = reduce_fn(values, starts)
+        new_q[mask] = 1.0
+        q = new_q
+    return q
+
+
+def unbounded_reachability(
+    mdp: DTMDP,
+    goal: Iterable[int] | np.ndarray,
+    objective: str = "max",
+    tol: float = 1e-12,
+    max_iterations: int = 1_000_000,
+) -> np.ndarray:
+    """Optimal probability to ever reach ``goal`` (value iteration)."""
+    if objective not in ("max", "min"):
+        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    mask = _mask(mdp, goal)
+    nonempty, starts = _segments(mdp)
+    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+
+    q = mask.astype(np.float64)
+    for _ in range(max_iterations):
+        values = mdp.probabilities @ q
+        new_q = np.zeros(mdp.num_states)
+        if len(starts):
+            new_q[nonempty] = reduce_fn(values, starts)
+        new_q[mask] = 1.0
+        if np.max(np.abs(new_q - q)) < tol:
+            return new_q
+        q = new_q
+    return q

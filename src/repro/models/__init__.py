@@ -1,0 +1,33 @@
+"""Case-study models: the FTWC (compositional and direct) and a zoo."""
+
+from repro.models import ftwc, ftwc_direct, job_scheduling, zoo
+from repro.models.ftwc import FTWCCompositional, build_compositional, build_system_imc
+from repro.models.job_scheduling import JobSchedulingModel, build_job_scheduling
+from repro.models.ftwc_direct import (
+    Config,
+    FTWCModel,
+    FTWCParameters,
+    build_ctmc,
+    build_ctmdp,
+    premium,
+    uniform_rate,
+)
+
+__all__ = [
+    "ftwc",
+    "ftwc_direct",
+    "job_scheduling",
+    "zoo",
+    "JobSchedulingModel",
+    "build_job_scheduling",
+    "FTWCCompositional",
+    "build_compositional",
+    "build_system_imc",
+    "Config",
+    "FTWCModel",
+    "FTWCParameters",
+    "build_ctmc",
+    "build_ctmdp",
+    "premium",
+    "uniform_rate",
+]

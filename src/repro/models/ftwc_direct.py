@@ -1,0 +1,417 @@
+"""Direct state-space generator for the fault-tolerant workstation cluster.
+
+The paper constructs the FTWC compositionally with CADP for ``N <= 14``
+and falls back to PRISM-generated state spaces for larger ``N``; this
+module is our analogue of the latter: it enumerates the uniform CTMDP of
+the cluster directly over a counting abstraction of the configuration
+space, which is sound because workstations within one sub-cluster are
+fully symmetric (the compositional route merges them by bisimulation
+anyway -- the test suite verifies that both routes yield identical
+reachability probabilities for small ``N``).
+
+System recap (Section 5 / Figure 1): two sub-clusters of ``N``
+workstations each, connected through one switch per side and a backbone;
+every component fails and is repaired with exponentially distributed
+delays; a *single* repair unit serves one failed component at a time,
+and the assignment of the repair unit to a failed component is the
+nondeterministic decision of the model.
+
+Configurations
+--------------
+A configuration records ``(failed_left, failed_right, switch_left_down,
+switch_right_down, backbone_down, repairing)`` where the counts include
+a component currently under repair and ``repairing`` names the component
+kind the repair unit is attached to (or none).  A configuration is a
+*decision point* iff the repair unit is idle although failed components
+exist; there the scheduler picks a ``grab`` action per failed kind.  All
+other configurations carry a single internal transition whose rate
+function is the exponential race between failures, the running repair,
+and the uniformisation self-loop.
+
+Uniformity by construction
+--------------------------
+Every rate function has total rate ``E(N) = mu_max + 2N*lf_ws +
+2*lf_sw + lf_bb``: each component's failure clock ticks at its failure
+rate at all times (clocks of failed components contribute to the
+self-loop), and the shared repair clock ticks at the fastest repair
+rate ``mu_max`` (slower repairs are padded with self-loop rate, exactly
+Jensen's uniformization).  This mirrors the elapse-based compositional
+construction and reproduces the uniform rates implied by the iteration
+counts of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+
+__all__ = [
+    "FTWCParameters",
+    "Config",
+    "FTWCModel",
+    "build_ctmdp",
+    "build_ctmc",
+    "premium",
+    "uniform_rate",
+]
+
+#: Component kinds in a fixed order: left/right workstations, left/right
+#: switch, backbone.
+KINDS = ("wsL", "wsR", "swL", "swR", "bb")
+
+#: The repair unit is idle.
+IDLE = ""
+
+
+@dataclass(frozen=True)
+class FTWCParameters:
+    """Failure and repair rates of the FTWC (defaults from [13] / PRISM).
+
+    Mean times: workstations fail every 500 h and take 0.5 h to repair;
+    switches 4000 h / 4 h; the backbone 5000 h / 8 h.
+    """
+
+    n: int
+    ws_fail: float = 1.0 / 500.0
+    sw_fail: float = 1.0 / 4000.0
+    bb_fail: float = 1.0 / 5000.0
+    ws_repair: float = 2.0
+    sw_repair: float = 0.25
+    bb_repair: float = 0.125
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ModelError("the FTWC needs at least one workstation per sub-cluster")
+        for name in ("ws_fail", "sw_fail", "bb_fail", "ws_repair", "sw_repair", "bb_repair"):
+            if getattr(self, name) <= 0.0:
+                raise ModelError(f"{name} must be positive")
+
+    def fail_rate(self, kind: str) -> float:
+        """Failure rate of one component of ``kind``."""
+        return {"wsL": self.ws_fail, "wsR": self.ws_fail, "swL": self.sw_fail,
+                "swR": self.sw_fail, "bb": self.bb_fail}[kind]
+
+    def repair_rate(self, kind: str) -> float:
+        """Repair rate of one component of ``kind``."""
+        return {"wsL": self.ws_repair, "wsR": self.ws_repair, "swL": self.sw_repair,
+                "swR": self.sw_repair, "bb": self.bb_repair}[kind]
+
+    @property
+    def mu_max(self) -> float:
+        """Rate of the shared (uniformized) repair clock."""
+        return max(self.ws_repair, self.sw_repair, self.bb_repair)
+
+    @property
+    def total_fail_rate(self) -> float:
+        """Sum of all failure-clock rates (they tick at all times)."""
+        return 2 * self.n * self.ws_fail + 2 * self.sw_fail + self.bb_fail
+
+
+def uniform_rate(params: FTWCParameters) -> float:
+    """The uniform rate ``E(N)`` of the FTWC uCTMDP."""
+    return params.mu_max + params.total_fail_rate
+
+
+@dataclass(frozen=True)
+class Config:
+    """One configuration of the cluster.
+
+    ``failed_left`` / ``failed_right`` count non-operational workstations
+    (waiting or under repair); the switch/backbone flags are ``True``
+    when the component is non-operational; ``repairing`` is the kind the
+    repair unit is attached to, or ``IDLE``.
+    """
+
+    failed_left: int
+    failed_right: int
+    sw_left_down: bool
+    sw_right_down: bool
+    bb_down: bool
+    repairing: str = IDLE
+
+    def failed_kinds(self) -> list[str]:
+        """Kinds with at least one failed component (grab candidates)."""
+        kinds = []
+        if self.failed_left > 0:
+            kinds.append("wsL")
+        if self.failed_right > 0:
+            kinds.append("wsR")
+        if self.sw_left_down:
+            kinds.append("swL")
+        if self.sw_right_down:
+            kinds.append("swR")
+        if self.bb_down:
+            kinds.append("bb")
+        return kinds
+
+    def is_decision_point(self) -> bool:
+        """True iff the repair unit must be (re)assigned here."""
+        return self.repairing == IDLE and bool(self.failed_kinds())
+
+    def with_repairing(self, kind: str) -> "Config":
+        """Attach the repair unit to ``kind``."""
+        return Config(self.failed_left, self.failed_right, self.sw_left_down,
+                      self.sw_right_down, self.bb_down, kind)
+
+    def after_failure(self, kind: str) -> "Config":
+        """Configuration after one more component of ``kind`` fails."""
+        return Config(
+            self.failed_left + (kind == "wsL"),
+            self.failed_right + (kind == "wsR"),
+            self.sw_left_down or kind == "swL",
+            self.sw_right_down or kind == "swR",
+            self.bb_down or kind == "bb",
+            self.repairing,
+        )
+
+    def after_repair(self) -> "Config":
+        """Configuration after the running repair completes (unit released)."""
+        kind = self.repairing
+        return Config(
+            self.failed_left - (kind == "wsL"),
+            self.failed_right - (kind == "wsR"),
+            self.sw_left_down and kind != "swL",
+            self.sw_right_down and kind != "swR",
+            self.bb_down and kind != "bb",
+            IDLE,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        ru = self.repairing or "idle"
+        return (
+            f"fL={self.failed_left},fR={self.failed_right},"
+            f"swL={'down' if self.sw_left_down else 'up'},"
+            f"swR={'down' if self.sw_right_down else 'up'},"
+            f"bb={'down' if self.bb_down else 'up'},ru={ru}"
+        )
+
+
+def premium(config: Config, n: int, threshold: int | None = None) -> bool:
+    """Quality-of-service predicate of [13] (Section 5 of the paper).
+
+    The cluster offers the required quality iff at least ``threshold``
+    operational workstations are connected to each other: either one
+    sub-cluster provides all of them through its own (operational)
+    switch, or both sub-clusters together do -- which additionally
+    requires both switches and the backbone.
+
+    ``threshold`` defaults to ``n``: *premium* quality, the paper's
+    property.  Smaller thresholds give the *minimum quality* variants
+    also studied in [13] (e.g. ``threshold = (3 * n) // 4``).
+    """
+    need = n if threshold is None else threshold
+    if not 0 < need <= 2 * n:
+        raise ModelError(f"quality threshold must lie in 1..{2 * n}, got {need}")
+    op_left = n - config.failed_left
+    op_right = n - config.failed_right
+    sw_left = not config.sw_left_down
+    sw_right = not config.sw_right_down
+    bb = not config.bb_down
+    if sw_left and op_left >= need:
+        return True
+    if sw_right and op_right >= need:
+        return True
+    return sw_left and sw_right and bb and op_left + op_right >= need
+
+
+def _race(config: Config, params: FTWCParameters, total: float) -> dict[Config, float]:
+    """Rate function of the exponential race out of ``config``.
+
+    Precondition: ``config`` is not a decision point.  The self-loop
+    padding tops the exit rate up to the uniform rate ``total``.
+    """
+    n = params.n
+    rates: dict[Config, float] = {}
+
+    def add(target: Config, rate: float) -> None:
+        if rate > 0.0:
+            rates[target] = rates.get(target, 0.0) + rate
+
+    add(config.after_failure("wsL"), (n - config.failed_left) * params.ws_fail)
+    add(config.after_failure("wsR"), (n - config.failed_right) * params.ws_fail)
+    if not config.sw_left_down:
+        add(config.after_failure("swL"), params.sw_fail)
+    if not config.sw_right_down:
+        add(config.after_failure("swR"), params.sw_fail)
+    if not config.bb_down:
+        add(config.after_failure("bb"), params.bb_fail)
+    if config.repairing:
+        add(config.after_repair(), params.repair_rate(config.repairing))
+
+    padding = total - sum(rates.values())
+    add(config, padding)
+    return rates
+
+
+@dataclass
+class FTWCModel:
+    """A generated FTWC model with its goal set and provenance.
+
+    Attributes
+    ----------
+    ctmdp:
+        The uniform CTMDP (states are configurations).
+    configs:
+        Configuration per CTMDP state.
+    goal_mask:
+        Boolean mask of the non-premium states (the goal set ``B`` of
+        the paper's property "premium service is not guaranteed").
+    params:
+        The generating parameters.
+    """
+
+    ctmdp: CTMDP
+    configs: list[Config]
+    goal_mask: np.ndarray
+    params: FTWCParameters
+
+    @property
+    def initial_value_index(self) -> int:
+        """Index of the all-operational initial state."""
+        return self.ctmdp.initial
+
+
+def _explore(
+    params: FTWCParameters, racing_decisions: bool = False
+) -> tuple[list[Config], dict[Config, int]]:
+    """Enumerate all configurations reachable from the fully-up cluster.
+
+    With ``racing_decisions`` the decision points additionally spawn
+    their failure successors (needed for the CTMC variant, where the
+    failure clocks race against the assignment delay).
+    """
+    start = Config(0, 0, False, False, False, IDLE)
+    index: dict[Config, int] = {start: 0}
+    order: list[Config] = [start]
+    total = uniform_rate(params)
+    frontier = [start]
+    while frontier:
+        config = frontier.pop()
+        successors: list[Config] = []
+        if config.is_decision_point():
+            for kind in config.failed_kinds():
+                successors.extend(_race(config.with_repairing(kind), params, total))
+            if racing_decisions:
+                successors.extend(_race(config, params, total))
+        else:
+            successors.extend(_race(config, params, total))
+        for target in successors:
+            if target not in index:
+                index[target] = len(order)
+                order.append(target)
+                frontier.append(target)
+    return order, index
+
+
+def build_ctmdp(
+    n: int,
+    params: FTWCParameters | None = None,
+    quality_threshold: int | None = None,
+) -> FTWCModel:
+    """Build the uniform CTMDP of the FTWC with ``n`` workstations per side.
+
+    Decision points offer one ``g_<kind>`` transition per failed kind
+    (the nondeterministic repair-unit assignment); every other
+    configuration offers a single ``tau`` transition.  All rate
+    functions share the uniform exit rate ``E(N)``.
+
+    ``quality_threshold`` selects the required number of connected
+    operational workstations (default ``n``: the premium property).
+    """
+    params = params or FTWCParameters(n=n)
+    if params.n != n:
+        raise ModelError("n argument and params.n disagree")
+    total = uniform_rate(params)
+    order, index = _explore(params)
+
+    transitions: list[tuple[int, str, dict[int, float]]] = []
+    for config in order:
+        src = index[config]
+        if config.is_decision_point():
+            for kind in config.failed_kinds():
+                rates = _race(config.with_repairing(kind), params, total)
+                transitions.append(
+                    (src, f"g_{kind}", {index[c]: r for c, r in rates.items()})
+                )
+        else:
+            rates = _race(config, params, total)
+            transitions.append((src, "tau", {index[c]: r for c, r in rates.items()}))
+
+    ctmdp = CTMDP.from_transitions(
+        num_states=len(order),
+        transitions=transitions,
+        initial=0,
+        state_names=[c.describe() for c in order],
+    )
+    goal = np.array(
+        [not premium(c, n, quality_threshold) for c in order], dtype=bool
+    )
+    return FTWCModel(ctmdp=ctmdp, configs=order, goal_mask=goal, params=params)
+
+
+def build_ctmc(
+    n: int,
+    params: FTWCParameters | None = None,
+    gamma: float = 10.0,
+    quality_threshold: int | None = None,
+) -> tuple[CTMC, list[Config], np.ndarray]:
+    """Build the CTMC approximation of [13]: nondeterminism as fast races.
+
+    At decision points the repair-unit assignment is replaced by a race
+    of exponential transitions with rate ``gamma`` -- the modelling
+    style of the original FTWC studies that the paper criticises.  The
+    default of 10 follows the repairman's *inspection rate* of the
+    classical PRISM ``cluster`` benchmark; larger values shrink the
+    artefacts (and blow up the uniformization rate of the analysis).
+
+    The artificial races let failures interleave with the (small but
+    positive) decision delay, during which the repair unit is
+    effectively idle -- paths that no scheduler of the CTMDP can
+    realise.  This is why this chain *overestimates* even the
+    worst-case CTMDP probabilities (Figure 4 of the paper).
+
+    Returns ``(chain, configurations, goal mask)``.
+    """
+    params = params or FTWCParameters(n=n)
+    if params.n != n:
+        raise ModelError("n argument and params.n disagree")
+    if gamma <= 0.0:
+        raise ModelError("gamma must be positive")
+    total = uniform_rate(params)
+    order, index = _explore(params, racing_decisions=True)
+
+    transitions: list[tuple[int, int, float]] = []
+    for config in order:
+        src = index[config]
+        if config.is_decision_point():
+            # The high-rate decision race.  Crucially, the failure clocks
+            # keep running while the "decision" is pending -- in a CTMC
+            # all transitions race.  These artificial interleavings (a
+            # component failing during the infinitesimal assignment
+            # delay, with the repair unit effectively idle) are exactly
+            # the paths the paper identifies as the cause of the CTMC's
+            # overestimation.
+            for kind in config.failed_kinds():
+                transitions.append((src, index[config.with_repairing(kind)], gamma))
+            for target, rate in _race(config, params, total).items():
+                if target != config:
+                    transitions.append((src, index[target], rate))
+        else:
+            for target, rate in _race(config, params, total).items():
+                if target != config:  # drop the uniformisation self-loop
+                    transitions.append((src, index[target], rate))
+
+    # Note: with-repairing intermediate configurations are already states
+    # of the exploration (they are the non-decision flavours).
+    chain = CTMC.from_transitions(len(order), transitions, initial=0)
+    goal = np.array(
+        [not premium(c, n, quality_threshold) for c in order], dtype=bool
+    )
+    return chain, order, goal

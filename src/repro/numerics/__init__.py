@@ -1,0 +1,10 @@
+"""Numerical substrates: Fox-Glynn Poisson weights and sparse helpers."""
+
+from repro.numerics.foxglynn import (
+    FoxGlynn,
+    fox_glynn,
+    poisson_pmf,
+    poisson_right_truncation,
+)
+
+__all__ = ["FoxGlynn", "fox_glynn", "poisson_pmf", "poisson_right_truncation"]

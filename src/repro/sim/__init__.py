@@ -1,0 +1,28 @@
+"""Monte-Carlo simulation of CTMCs and scheduled CTMDPs."""
+
+from repro.sim.imc_sim import (
+    Resolver,
+    first_resolver,
+    random_resolver,
+    simulate_imc_reachability,
+)
+from repro.sim.smc import SPRTResult, sprt, sprt_ctmc_reachability, sprt_ctmdp_reachability
+from repro.sim.simulate import (
+    SimulationEstimate,
+    simulate_ctmc_reachability,
+    simulate_ctmdp_reachability,
+)
+
+__all__ = [
+    "SPRTResult",
+    "sprt",
+    "sprt_ctmc_reachability",
+    "sprt_ctmdp_reachability",
+    "Resolver",
+    "first_resolver",
+    "random_resolver",
+    "simulate_imc_reachability",
+    "SimulationEstimate",
+    "simulate_ctmc_reachability",
+    "simulate_ctmdp_reachability",
+]

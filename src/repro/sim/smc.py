@@ -1,0 +1,183 @@
+"""Statistical model checking: sequential hypothesis testing.
+
+For models too large to solve numerically, Wald's sequential probability
+ratio test (SPRT) decides hypotheses of the form
+
+    H0:  p >= theta + delta      versus      H1:  p <= theta - delta
+
+about a reachability probability ``p`` by simulating one trajectory at a
+time and stopping as soon as the accumulated likelihood ratio crosses
+the error thresholds derived from the prescribed type-I/II error bounds
+``alpha`` and ``beta``.  The expected sample size is far below the fixed
+size a Chernoff bound would dictate when ``p`` is far from ``theta``.
+
+Works with any Bernoulli trajectory source; convenience wrappers run it
+against the CTMC simulator and the scheduled-CTMDP simulator from
+:mod:`repro.sim.simulate`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.core.scheduler import Scheduler
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+
+__all__ = ["SPRTResult", "sprt", "sprt_ctmc_reachability", "sprt_ctmdp_reachability"]
+
+
+@dataclass(frozen=True)
+class SPRTResult:
+    """Outcome of a sequential probability ratio test.
+
+    Attributes
+    ----------
+    accept_h0:
+        ``True`` -- evidence for ``p >= theta + delta``; ``False`` --
+        evidence for ``p <= theta - delta``.
+    samples:
+        Trajectories consumed.
+    successes:
+        Goal-hitting trajectories among them.
+    """
+
+    accept_h0: bool
+    samples: int
+    successes: int
+
+    @property
+    def estimate(self) -> float:
+        """Crude point estimate (successes / samples)."""
+        return self.successes / self.samples if self.samples else float("nan")
+
+
+def sprt(
+    sample: Callable[[], bool],
+    theta: float,
+    delta: float = 0.01,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+    max_samples: int = 1_000_000,
+) -> SPRTResult:
+    """Wald's SPRT for a Bernoulli parameter against threshold ``theta``.
+
+    Parameters
+    ----------
+    sample:
+        Draws one Bernoulli observation (one simulated trajectory).
+    theta:
+        The threshold of the query ``P >= theta``.
+    delta:
+        Half-width of the indifference region; results are only
+        guaranteed for true values outside ``(theta - delta,
+        theta + delta)``.
+    alpha, beta:
+        Bounds on false-rejection and false-acceptance probability.
+    max_samples:
+        Hard cap; reaching it raises ``ModelError`` (the test is
+        inconclusive -- typically the true value lies inside the
+        indifference region).
+    """
+    if not 0.0 < theta < 1.0:
+        raise ModelError("theta must lie strictly between 0 and 1")
+    if delta <= 0.0 or theta - delta <= 0.0 or theta + delta >= 1.0:
+        raise ModelError("indifference region must fit inside (0, 1)")
+    if not (0.0 < alpha < 1.0 and 0.0 < beta < 1.0):
+        raise ModelError("error bounds must lie in (0, 1)")
+
+    p0 = theta + delta  # H0
+    p1 = theta - delta  # H1
+    log_accept_h1 = math.log((1.0 - beta) / alpha)
+    log_accept_h0 = math.log(beta / (1.0 - alpha))
+    step_success = math.log(p1 / p0)
+    step_failure = math.log((1.0 - p1) / (1.0 - p0))
+
+    ratio = 0.0
+    successes = 0
+    for n in range(1, max_samples + 1):
+        if sample():
+            successes += 1
+            ratio += step_success
+        else:
+            ratio += step_failure
+        if ratio >= log_accept_h1:
+            return SPRTResult(accept_h0=False, samples=n, successes=successes)
+        if ratio <= log_accept_h0:
+            return SPRTResult(accept_h0=True, samples=n, successes=successes)
+    raise ModelError(
+        f"SPRT inconclusive after {max_samples} samples; the true probability "
+        "likely lies inside the indifference region -- widen delta"
+    )
+
+
+def _ctmc_trajectory_sampler(
+    ctmc: CTMC, goal: set[int], t: float, rng: np.random.Generator
+) -> Callable[[], bool]:
+    from repro.sim.simulate import simulate_ctmc_reachability
+
+    def sample() -> bool:
+        return simulate_ctmc_reachability(ctmc, goal, t, runs=1, rng=rng).probability > 0.5
+
+    return sample
+
+
+def sprt_ctmc_reachability(
+    ctmc: CTMC,
+    goal: set[int],
+    t: float,
+    theta: float,
+    delta: float = 0.01,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+    rng: np.random.Generator | None = None,
+    max_samples: int = 1_000_000,
+) -> SPRTResult:
+    """Test ``Pr(reach goal within t) >= theta`` on a CTMC by SPRT."""
+    rng = rng or np.random.default_rng()
+    return sprt(
+        _ctmc_trajectory_sampler(ctmc, goal, t, rng),
+        theta,
+        delta=delta,
+        alpha=alpha,
+        beta=beta,
+        max_samples=max_samples,
+    )
+
+
+def sprt_ctmdp_reachability(
+    ctmdp: CTMDP,
+    scheduler: Scheduler,
+    goal: set[int],
+    t: float,
+    theta: float,
+    delta: float = 0.01,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+    rng: np.random.Generator | None = None,
+    max_samples: int = 1_000_000,
+) -> SPRTResult:
+    """Test timed reachability of a scheduled CTMDP by SPRT.
+
+    Note the result is relative to the supplied scheduler; statistical
+    verification of the ``sup``/``inf`` over schedulers would require
+    scheduler optimisation, for which the analytic Algorithm 1 exists.
+    """
+    from repro.sim.simulate import simulate_ctmdp_reachability
+
+    rng = rng or np.random.default_rng()
+
+    def sample() -> bool:
+        return (
+            simulate_ctmdp_reachability(ctmdp, scheduler, goal, t, runs=1, rng=rng).probability
+            > 0.5
+        )
+
+    return sprt(
+        sample, theta, delta=delta, alpha=alpha, beta=beta, max_samples=max_samples
+    )

@@ -1,0 +1,34 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import ReportScale, generate_report, write_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def quick_report(self) -> str:
+        return generate_report(ReportScale.quick())
+
+    def test_contains_all_sections(self, quick_report):
+        assert "# Reproduction report" in quick_report
+        assert "## Table 1" in quick_report
+        assert "## Figure 4" in quick_report
+        assert "## Compositional route" in quick_report
+        assert "## Sensitivity sweeps" in quick_report
+
+    def test_states_the_overestimation_result(self, quick_report):
+        assert "overestimates the worst case at every positive bound: **True**" in quick_report
+
+    def test_contains_paper_comparison(self, quick_report):
+        assert "paper Inter.st" in quick_report
+        assert "110" in quick_report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", ReportScale.quick())
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_scales_differ(self):
+        assert ReportScale.quick().table1_ns != ReportScale().table1_ns
+        assert ReportScale.full().table1_ns[-1] > ReportScale().table1_ns[-1]

@@ -1,0 +1,18 @@
+"""Tests for the self-check battery."""
+
+from repro.analysis.validate import CheckOutcome, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self):
+        outcomes = run_selfcheck()
+        assert len(outcomes) == 6
+        assert all(outcome.passed for outcome in outcomes), [
+            (o.name, o.detail) for o in outcomes if not o.passed
+        ]
+
+    def test_outcomes_have_details(self):
+        for outcome in run_selfcheck():
+            assert isinstance(outcome, CheckOutcome)
+            assert outcome.name
+            assert outcome.detail

@@ -1,0 +1,107 @@
+"""Tests for CTMDP bisimulation minimisation and equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.bisim.ctmdp_bisim import (
+    ctmdp_bisimulation,
+    ctmdp_equivalent,
+    ctmdp_minimize,
+)
+from repro.bisim.quotient import map_labels_through
+from repro.core.ctmdp import CTMDP
+from repro.core.reachability import timed_reachability
+from repro.errors import ModelError
+from repro.models.ftwc import build_compositional
+from repro.models.ftwc_direct import build_ctmdp
+from repro.models.job_scheduling import build_job_scheduling
+from repro.models.zoo import two_phase_race_ctmdp
+
+
+class TestMinimize:
+    def test_symmetric_jobs_lump_by_count(self):
+        # Three identical jobs: states with equally many remaining jobs
+        # are bisimilar, so the quotient is a counter chain.
+        model = build_job_scheduling([2.0] * 3, processors=1)
+        quotient, partition = ctmdp_minimize(
+            model.ctmdp, labels=model.goal_mask.tolist(), respect_actions=False
+        )
+        assert quotient.num_states == 4  # 0..3 jobs remaining
+
+    def test_quotient_preserves_reachability(self):
+        model = build_job_scheduling([0.5, 1.0, 4.0], processors=2)
+        quotient, partition = ctmdp_minimize(
+            model.ctmdp, labels=model.goal_mask.tolist()
+        )
+        goal_q = np.array(
+            map_labels_through(partition, model.goal_mask.tolist()), dtype=bool
+        )
+        for objective in ("max", "min"):
+            for t in (0.5, 2.0):
+                full = timed_reachability(
+                    model.ctmdp, model.goal_mask, t, epsilon=1e-9, objective=objective
+                ).value(model.ctmdp.initial)
+                reduced = timed_reachability(
+                    quotient, goal_q, t, epsilon=1e-9, objective=objective
+                ).value(quotient.initial)
+                assert reduced == pytest.approx(full, abs=1e-9)
+
+    def test_respects_labels(self):
+        ctmdp = CTMDP.from_transitions(
+            2, [(0, "a", {0: 1.0}), (1, "a", {1: 1.0})]
+        )
+        assert ctmdp_bisimulation(ctmdp).num_blocks == 1
+        assert ctmdp_bisimulation(ctmdp, labels=["x", "y"]).num_blocks == 2
+
+    def test_action_labels_distinguish_unless_disabled(self):
+        ctmdp = CTMDP.from_transitions(
+            2, [(0, "a", {0: 1.0}), (1, "b", {1: 1.0})]
+        )
+        assert ctmdp_bisimulation(ctmdp).num_blocks == 2
+        assert ctmdp_bisimulation(ctmdp, respect_actions=False).num_blocks == 1
+
+    def test_quotient_of_minimal_model_is_identity(self):
+        ctmdp, goal = two_phase_race_ctmdp()
+        quotient, _ = ctmdp_minimize(ctmdp, labels=goal.tolist())
+        assert quotient.num_states == ctmdp.num_states
+
+
+class TestEquivalence:
+    def test_reflexive(self):
+        ctmdp, goal = two_phase_race_ctmdp()
+        assert ctmdp_equivalent(ctmdp, ctmdp, goal.tolist(), goal.tolist())
+
+    def test_detects_rate_differences(self):
+        left = CTMDP.from_transitions(1, [(0, "a", {0: 1.0})])
+        right = CTMDP.from_transitions(1, [(0, "a", {0: 2.0})])
+        assert not ctmdp_equivalent(left, right)
+
+    def test_label_arity_checked(self):
+        ctmdp, _ = two_phase_race_ctmdp()
+        with pytest.raises(ModelError):
+            ctmdp_equivalent(ctmdp, ctmdp, left_labels=[True], right_labels=None)
+
+    def test_compositional_equals_direct_ftwc(self):
+        """The paper's 'equivalent up to uniformity' check between the
+        CADP route and the PRISM route, for N=1: the two generators
+        build strongly bisimilar CTMDPs (up to action-label spelling)."""
+        comp = build_compositional(1)
+        direct = build_ctmdp(1)
+        assert ctmdp_equivalent(
+            comp.ctmdp,
+            direct.ctmdp,
+            comp.goal_mask.tolist(),
+            direct.goal_mask.tolist(),
+            respect_actions=False,
+        )
+
+    def test_ftwc_sizes_not_equivalent(self):
+        one = build_ctmdp(1)
+        two = build_ctmdp(2)
+        assert not ctmdp_equivalent(
+            one.ctmdp,
+            two.ctmdp,
+            one.goal_mask.tolist(),
+            two.goal_mask.tolist(),
+            respect_actions=False,
+        )

@@ -1,0 +1,84 @@
+"""Tests for the partition-refinement machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bisim.partition import Partition, refine_to_fixpoint
+
+
+class TestConstruction:
+    def test_trivial(self):
+        p = Partition.trivial(4)
+        assert p.num_blocks == 1
+        assert p.num_states == 4
+
+    def test_discrete(self):
+        p = Partition.discrete(3)
+        assert p.num_blocks == 3
+
+    def test_from_labels(self):
+        p = Partition.from_labels(["x", "y", "x", "z"])
+        assert p.num_blocks == 3
+        assert p.same_block(0, 2)
+        assert not p.same_block(0, 1)
+
+
+class TestOperations:
+    def test_canonical_renumbers_by_first_occurrence(self):
+        p = Partition(block_of=np.array([5, 2, 5, 9]))
+        canon = p.canonical()
+        np.testing.assert_array_equal(canon.block_of, [0, 1, 0, 2])
+
+    def test_refined_by_splits(self):
+        p = Partition.trivial(4)
+        refined = p.refined_by(["a", "b", "a", "b"])
+        assert refined.num_blocks == 2
+        assert refined.same_block(0, 2)
+        assert refined.same_block(1, 3)
+
+    def test_refined_by_respects_existing_blocks(self):
+        p = Partition.from_labels([0, 0, 1, 1])
+        refined = p.refined_by(["x", "x", "x", "x"])
+        assert refined.num_blocks == 2  # no merging across blocks
+
+    def test_blocks_listing(self):
+        p = Partition.from_labels(["a", "b", "a"])
+        assert p.blocks() == [[0, 2], [1]]
+
+    def test_is_refinement_of(self):
+        coarse = Partition.from_labels([0, 0, 1, 1])
+        fine = Partition.from_labels([0, 1, 2, 2])
+        assert fine.is_refinement_of(coarse)
+        assert not coarse.is_refinement_of(fine)
+        assert coarse.is_refinement_of(coarse)
+
+    def test_equality_modulo_renumbering(self):
+        a = Partition(block_of=np.array([0, 1, 0]))
+        b = Partition(block_of=np.array([7, 3, 7]))
+        assert a == b
+
+
+class TestFixpoint:
+    def test_converges(self):
+        # Signature = parity of state id, stable after one round.
+        result = refine_to_fixpoint(
+            Partition.trivial(6), lambda p: [s % 2 for s in range(6)]
+        )
+        assert result.num_blocks == 2
+
+    def test_partition_dependent_signature(self):
+        # Chain 0 -> 1 -> 2 -> 3 (by successor block): refines to singletons
+        # when the signature exposes the successor's block.
+        succ = {0: 1, 1: 2, 2: 3, 3: 3}
+
+        def signature(p: Partition):
+            return [(int(p.block_of[succ[s]]), s == 3) for s in range(4)]
+
+        result = refine_to_fixpoint(Partition.trivial(4), signature)
+        assert result.num_blocks == 4
+
+    def test_respects_initial_partition(self):
+        initial = Partition.from_labels(["a", "b", "a"])
+        result = refine_to_fixpoint(initial, lambda p: [0, 0, 0])
+        assert result.is_refinement_of(initial)
+        assert result.num_blocks == 2

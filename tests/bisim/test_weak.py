@@ -1,0 +1,98 @@
+"""Tests for stochastic weak bisimulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.bisim.branching import branching_bisimulation
+from repro.bisim.quotient import map_labels_through
+from repro.bisim.weak import weak_bisimulation, weak_minimize
+from repro.core.reachability import timed_reachability
+from repro.imc.model import IMC, TAU
+from repro.imc.transform import imc_to_ctmdp
+from tests.conftest import random_closed_uniform_imcs, random_uniform_imcs
+
+
+class TestBasics:
+    def test_tau_chain_collapses(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, TAU, 1), (1, TAU, 2)],
+            markov=[(2, 2.0, 2)],
+        )
+        partition = weak_bisimulation(imc)
+        assert partition.num_blocks == 1
+
+    def test_weak_move_through_tau(self):
+        # 0 -tau-> 1 -a-> 2  versus  3 -a-> 2: weakly bisimilar sources.
+        imc = IMC(
+            num_states=4,
+            interactive=[(0, TAU, 1), (1, "a", 2), (3, "a", 2), (2, TAU, 2)],
+        )
+        partition = weak_bisimulation(imc)
+        assert partition.same_block(0, 3)
+        assert partition.same_block(0, 1)
+
+    def test_different_rates_split(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 0), (1, 2.0, 1)])
+        assert weak_bisimulation(imc).num_blocks == 2
+
+    def test_labels_respected(self):
+        imc = IMC(
+            num_states=2, interactive=[(0, TAU, 1)], markov=[(1, 1.0, 1)]
+        )
+        assert weak_bisimulation(imc).num_blocks == 1
+        assert weak_bisimulation(imc, labels=["x", "y"]).num_blocks == 2
+
+
+class TestRelationToBranching:
+    @given(imc=random_uniform_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_branching_equivalent_states_stay_together(self, imc):
+        """Branching bisimilarity implies (exact-rate) weak
+        bisimilarity, so every branching block must sit inside some weak
+        block whenever both refinements reach their fixpoints on the
+        same seeds."""
+        branching = branching_bisimulation(imc)
+        weak = weak_bisimulation(imc)
+        # Weak merges at least as much as branching on these models.
+        assert weak.num_blocks <= branching.num_blocks
+
+    def test_weak_coarser_on_tau_divergence_free_chain(self):
+        imc = IMC(
+            num_states=4,
+            interactive=[(0, TAU, 1), (1, "a", 2), (2, TAU, 3)],
+            markov=[(3, 1.0, 3)],
+        )
+        weak = weak_bisimulation(imc)
+        branching = branching_bisimulation(imc)
+        assert weak.num_blocks <= branching.num_blocks
+
+
+class TestLemma3Analogue:
+    @given(imc=random_uniform_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_quotient_preserves_uniformity(self, imc):
+        assert imc.is_uniform()
+        quotient, _ = weak_minimize(imc)
+        assert quotient.is_uniform()
+
+    @given(imc=random_closed_uniform_imcs())
+    @settings(max_examples=20, deadline=None)
+    def test_quotient_preserves_timed_reachability(self, imc):
+        labels = [s == imc.num_states - 1 for s in range(imc.num_states)]
+        quotient, partition = weak_minimize(imc, labels=labels)
+        quotient_labels = map_labels_through(partition, labels)
+
+        original = imc_to_ctmdp(imc)
+        reduced = imc_to_ctmdp(quotient)
+        goal_original = original.goal_mask_from_predicate(lambda s: labels[s])
+        goal_reduced = reduced.goal_mask_from_predicate(lambda s: quotient_labels[s])
+        for t in (0.5, 2.0):
+            value_original = timed_reachability(
+                original.ctmdp, goal_original, t, epsilon=1e-9
+            ).value(original.ctmdp.initial)
+            value_reduced = timed_reachability(
+                reduced.ctmdp, goal_reduced, t, epsilon=1e-9
+            ).value(reduced.ctmdp.initial)
+            assert value_reduced == pytest.approx(value_original, abs=1e-7)

@@ -1,0 +1,132 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.imc.model import IMC, TAU
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for random models
+# ---------------------------------------------------------------------------
+
+ACTIONS = ("a", "b", "c")
+
+
+@st.composite
+def random_imcs(
+    draw,
+    max_states: int = 6,
+    max_interactive: int = 8,
+    max_markov: int = 8,
+    allow_tau: bool = True,
+) -> IMC:
+    """A small random IMC (not necessarily uniform)."""
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    action_pool = ACTIONS + ((TAU,) if allow_tau else ())
+    interactive = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.sampled_from(action_pool),
+                st.integers(0, n - 1),
+            ),
+            max_size=max_interactive,
+        )
+    )
+    markov = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+                st.integers(0, n - 1),
+            ),
+            max_size=max_markov,
+        )
+    )
+    return IMC(num_states=n, interactive=interactive, markov=markov, initial=0)
+
+
+@st.composite
+def random_uniform_imcs(
+    draw,
+    max_states: int = 6,
+    rate: float = 4.0,
+    max_branch: int = 3,
+    allow_tau: bool = True,
+) -> IMC:
+    """A random *uniform* IMC of rate ``rate``.
+
+    Every state is either interactive (only interactive transitions,
+    hence unstable or rate-free... visible-only states would break
+    uniformity, so interactive states always carry at least one ``tau``)
+    or Markov with total exit rate exactly ``rate``.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    interactive: list[tuple[int, str, int]] = []
+    markov: list[tuple[int, float, int]] = []
+    action_pool = ACTIONS + ((TAU,) if allow_tau else ())
+    for state in range(n):
+        is_markov = draw(st.booleans())
+        if is_markov:
+            branches = draw(st.integers(1, max_branch))
+            targets = [draw(st.integers(0, n - 1)) for _ in range(branches)]
+            weights = [draw(st.floats(0.1, 1.0)) for _ in range(branches)]
+            total = sum(weights)
+            for target, weight in zip(targets, weights):
+                markov.append((state, rate * weight / total, target))
+        else:
+            branches = draw(st.integers(1, max_branch))
+            # Guarantee instability so uniformity does not constrain the
+            # state (definition 4 applies to stable states only).
+            interactive.append((state, TAU, draw(st.integers(0, n - 1))))
+            for _ in range(branches - 1):
+                interactive.append(
+                    (state, draw(st.sampled_from(action_pool)), draw(st.integers(0, n - 1)))
+                )
+    return IMC(num_states=n, interactive=interactive, markov=markov, initial=0)
+
+
+@st.composite
+def random_closed_uniform_imcs(draw, max_states: int = 6, rate: float = 4.0) -> IMC:
+    """A random closed (tau-only) uniform IMC suitable for transformation.
+
+    Interactive states form a DAG layered by index (tau transitions only
+    go to strictly higher state indices or to Markov states), which
+    excludes Zeno cycles by construction; every interactive path can
+    always end in some Markov state because the last state is forced to
+    be Markov.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_states))
+    is_markov = [draw(st.booleans()) for _ in range(n - 1)] + [True]
+    markov_states = [s for s in range(n) if is_markov[s]]
+    interactive: list[tuple[int, str, int]] = []
+    markov: list[tuple[int, float, int]] = []
+    for state in range(n):
+        if is_markov[state]:
+            branches = draw(st.integers(1, 3))
+            weights = [draw(st.floats(0.1, 1.0)) for _ in range(branches)]
+            total = sum(weights)
+            for weight in weights:
+                target = draw(st.integers(0, n - 1))
+                markov.append((state, rate * weight / total, target))
+        else:
+            # Tau transitions to later states or Markov states: acyclic.
+            branches = draw(st.integers(1, 3))
+            for _ in range(branches):
+                later = [t for t in range(state + 1, n)] + markov_states
+                interactive.append((state, TAU, draw(st.sampled_from(sorted(set(later))))))
+    return IMC(num_states=n, interactive=interactive, markov=markov, initial=0)
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for simulation-based tests."""
+    return np.random.default_rng(20070625)  # DSN 2007, Edinburgh

@@ -1,0 +1,117 @@
+"""Tests for the CTMC model class."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def ring() -> CTMC:
+    return CTMC.from_transitions(3, [(0, 1, 2.0), (1, 2, 2.0), (2, 0, 2.0)])
+
+
+class TestConstruction:
+    def test_from_transitions_accumulates_duplicates(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (0, 1, 2.5)])
+        assert chain.rate(0, 1) == pytest.approx(3.5)
+
+    def test_zero_rate_transitions_dropped(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 0.0)])
+        assert chain.num_transitions == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, -1.0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 5, 1.0)])
+
+    def test_empty_state_space_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC(rates=sp.csr_matrix((0, 0)))
+
+    def test_initial_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, 1.0)], initial=7)
+
+    def test_state_names_length_checked(self):
+        with pytest.raises(ModelError):
+            CTMC.from_transitions(2, [(0, 1, 1.0)], state_names=["only-one"])
+
+    def test_from_generator(self):
+        q = np.array([[-2.0, 2.0], [3.0, -3.0]])
+        chain = CTMC.from_generator(q)
+        assert chain.rate(0, 1) == 2.0
+        assert chain.rate(1, 0) == 3.0
+
+    def test_from_generator_bad_diagonal_rejected(self):
+        q = np.array([[-1.0, 2.0], [3.0, -3.0]])
+        with pytest.raises(ModelError):
+            CTMC.from_generator(q)
+
+    def test_from_generator_negative_offdiagonal_rejected(self):
+        q = np.array([[1.0, -1.0], [3.0, -3.0]])
+        with pytest.raises(ModelError):
+            CTMC.from_generator(q)
+
+    def test_from_generator_non_square_rejected(self):
+        with pytest.raises(ModelError):
+            CTMC.from_generator(np.zeros((2, 3)))
+
+
+class TestQueries:
+    def test_exit_rates(self, ring):
+        np.testing.assert_allclose(ring.exit_rates(), [2.0, 2.0, 2.0])
+
+    def test_successors(self, ring):
+        assert ring.successors(0) == [(1, 2.0)]
+
+    def test_absorbing_detection(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        assert not chain.is_absorbing(0)
+        assert chain.is_absorbing(1)
+        assert chain.absorbing_states() == [1]
+
+    def test_uniformity(self, ring):
+        assert ring.is_uniform()
+        assert ring.uniform_rate() == pytest.approx(2.0)
+
+    def test_non_uniform_detected(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 2.0)])
+        assert not chain.is_uniform()
+        with pytest.raises(ModelError):
+            chain.uniform_rate()
+
+    def test_memory_bytes_positive(self, ring):
+        assert ring.memory_bytes() > 0
+
+
+class TestDerived:
+    def test_embedded_dtmc_rows_sum_to_one(self):
+        chain = CTMC.from_transitions(
+            3, [(0, 1, 1.0), (0, 2, 3.0), (1, 0, 2.0)]
+        )
+        p = chain.embedded_dtmc_matrix()
+        np.testing.assert_allclose(np.asarray(p.sum(axis=1)).ravel(), 1.0)
+        assert p[0, 2] == pytest.approx(0.75)
+        # Absorbing state 2 got a self-loop.
+        assert p[2, 2] == pytest.approx(1.0)
+
+    def test_restricted_to(self):
+        chain = CTMC.from_transitions(
+            3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)], state_names=["a", "b", "c"]
+        )
+        sub = chain.restricted_to([0, 1])
+        assert sub.num_states == 2
+        assert sub.rate(0, 1) == 1.0
+        assert sub.rate(1, 0) == 1.0
+        assert sub.state_names == ["a", "b"]
+
+    def test_restricted_to_reindexes_initial(self):
+        chain = CTMC.from_transitions(3, [(1, 2, 1.0)], initial=1)
+        sub = chain.restricted_to([1, 2])
+        assert sub.initial == 0

@@ -1,0 +1,106 @@
+"""Tests for CTMC state-reward measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ctmc.hitting import expected_hitting_time
+from repro.ctmc.model import CTMC
+from repro.ctmc.rewards import (
+    accumulated_reward_until,
+    instantaneous_reward,
+    long_run_average_reward,
+)
+from repro.errors import ModelError
+from repro.models.zoo import queue_with_breakdowns
+
+
+@pytest.fixture
+def two_state() -> CTMC:
+    return CTMC.from_transitions(2, [(0, 1, 1.0), (1, 0, 3.0)])
+
+
+class TestInstantaneous:
+    def test_at_time_zero_is_initial_reward(self, two_state):
+        rewards = np.array([5.0, 1.0])
+        assert instantaneous_reward(two_state, rewards, 0.0) == pytest.approx(5.0)
+
+    def test_converges_to_long_run(self, two_state):
+        rewards = np.array([5.0, 1.0])
+        late = instantaneous_reward(two_state, rewards, 100.0)
+        assert late == pytest.approx(long_run_average_reward(two_state, rewards), abs=1e-9)
+
+    def test_shape_checked(self, two_state):
+        with pytest.raises(ModelError):
+            instantaneous_reward(two_state, np.array([1.0]), 1.0)
+
+
+class TestLongRun:
+    def test_two_state_balance(self, two_state):
+        # pi = (0.75, 0.25).
+        rewards = np.array([4.0, 0.0])
+        assert long_run_average_reward(two_state, rewards) == pytest.approx(3.0)
+
+    def test_queue_utilisation(self):
+        chain, _goal = queue_with_breakdowns(capacity=3)
+        # Server-up indicator: states with odd index are "up".
+        up = np.array([s % 2 == 1 for s in range(chain.num_states)], dtype=float)
+        availability = long_run_average_reward(chain, up)
+        assert 0.5 < availability < 1.0
+
+
+class TestAccumulated:
+    def test_unit_rewards_give_hitting_times(self):
+        chain = CTMC.from_transitions(
+            3, [(0, 1, 2.0), (1, 0, 3.0), (1, 2, 1.0)]
+        )
+        ones = np.ones(3)
+        np.testing.assert_allclose(
+            accumulated_reward_until(chain, ones, [2]),
+            expected_hitting_time(chain, [2]),
+            atol=1e-10,
+        )
+
+    def test_weighted_single_step(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 4.0)])
+        rewards = np.array([8.0, 0.0])
+        # Expected sojourn 0.25 at reward rate 8 -> 2.
+        values = accumulated_reward_until(chain, rewards, [1])
+        assert values[0] == pytest.approx(2.0)
+        assert values[1] == 0.0
+
+    def test_infinite_when_goal_missed(self):
+        chain = CTMC.from_transitions(3, [(0, 1, 1.0), (0, 2, 1.0)])
+        values = accumulated_reward_until(chain, np.ones(3), [1])
+        assert np.isinf(values[0])
+
+    def test_negative_rewards_rejected(self, two_state):
+        with pytest.raises(ModelError):
+            accumulated_reward_until(two_state, np.array([-1.0, 0.0]), [1])
+
+    def test_empty_goal_infinite(self, two_state):
+        values = accumulated_reward_until(two_state, np.ones(2), [])
+        assert np.isinf(values).all()
+
+
+class TestFTWCAvailability:
+    def test_long_run_premium_availability(self):
+        """Long-run premium availability of the FTWC CTMC: the classic
+        steady-state measure of [13], close to one for sane parameters
+        and decreasing when failures speed up."""
+        from repro.models.ftwc_direct import build_ctmc
+
+        chain, configs, goal = build_ctmc(1, gamma=10.0)
+        premium_indicator = (~goal).astype(float)
+        availability = long_run_average_reward(chain, premium_indicator)
+        assert 0.99 < availability < 1.0
+
+        from repro.models.ftwc_direct import FTWCParameters
+
+        worse_params = FTWCParameters(
+            n=1, ws_fail=0.02, sw_fail=0.0025, bb_fail=0.002
+        )
+        worse_chain, _c, worse_goal = build_ctmc(1, worse_params, gamma=10.0)
+        worse = long_run_average_reward(worse_chain, (~worse_goal).astype(float))
+        assert worse < availability

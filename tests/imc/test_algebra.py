@@ -1,0 +1,111 @@
+"""Tests for the process-algebra front-end."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.imc.algebra import ProcessSpec, choice, prefix, ref, stop
+from repro.imc.composition import parallel
+from repro.imc.model import IMC
+
+
+class TestTerms:
+    def test_prefix_requires_action(self):
+        with pytest.raises(ModelError):
+            prefix("", stop())
+
+    def test_choice_flattens(self):
+        term = choice(prefix("a", stop()), choice(prefix("b", stop()), prefix("c", stop())))
+        assert len(term.alternatives) == 3
+
+    def test_choice_of_one_is_identity(self):
+        inner = prefix("a", stop())
+        assert choice(inner) is inner
+
+    def test_empty_choice_is_stop(self):
+        from repro.imc.algebra import Stop
+
+        assert isinstance(choice(), Stop)
+
+
+class TestCompile:
+    def test_cycle(self):
+        spec = ProcessSpec()
+        spec.define(
+            "Component",
+            prefix("fail", prefix("g", prefix("rep", prefix("r", ref("Component"))))),
+        )
+        model = spec.to_lts("Component")
+        assert model.num_states == 4
+        actions = [a for _s, a, _t in model.interactive]
+        assert sorted(actions) == ["fail", "g", "r", "rep"]
+        # It is a cycle back to the initial state.
+        closing = [t for _s, a, t in model.interactive if a == "r"]
+        assert closing == [model.initial]
+
+    def test_choice_creates_branching(self):
+        spec = ProcessSpec()
+        spec.define(
+            "RU",
+            choice(
+                prefix("g_ws", prefix("r_ws", ref("RU"))),
+                prefix("g_sw", prefix("r_sw", ref("RU"))),
+            ),
+        )
+        model = spec.to_lts("RU")
+        assert model.num_states == 3
+        initial_moves = {a for a, _t in model.interactive_successors(model.initial)}
+        assert initial_moves == {"g_ws", "g_sw"}
+
+    def test_stop_is_deadlock(self):
+        spec = ProcessSpec().define("Once", prefix("a", stop()))
+        model = spec.to_lts("Once")
+        assert model.num_states == 2
+        assert model.interactive_successors(1) == []
+
+    def test_mutually_recursive_equations(self):
+        spec = ProcessSpec()
+        spec.define("Even", prefix("tick", ref("Odd")))
+        spec.define("Odd", prefix("tock", ref("Even")))
+        model = spec.to_lts("Even")
+        assert model.num_states == 2
+        assert model.state_names == ["Even", "Odd"]
+
+    def test_unguarded_choice_over_refs(self):
+        spec = ProcessSpec()
+        spec.define("A", prefix("a", ref("AB")))
+        spec.define("B", prefix("b", ref("AB")))
+        spec.define("AB", choice(ref("A"), ref("B")))
+        model = spec.to_lts("AB")
+        assert {a for _s, a, _t in model.interactive} == {"a", "b"}
+
+    def test_unproductive_recursion_rejected(self):
+        spec = ProcessSpec().define("X", ref("X"))
+        with pytest.raises(ModelError, match="unguarded"):
+            spec.to_lts("X")
+
+    def test_undefined_reference_rejected(self):
+        spec = ProcessSpec().define("A", prefix("a", ref("Ghost")))
+        with pytest.raises(ModelError, match="undefined"):
+            spec.to_lts("A")
+        with pytest.raises(ModelError, match="undefined"):
+            ProcessSpec().to_lts("Nothing")
+
+
+class TestIntegration:
+    def test_equivalent_to_cycle_lts(self):
+        from repro.bisim.compare import are_strongly_bisimilar
+        from repro.imc.lts import cycle_lts
+
+        spec = ProcessSpec()
+        spec.define("C", prefix("a", prefix("b", prefix("c", ref("C")))))
+        algebraic = spec.to_lts("C")
+        direct = cycle_lts(["a", "b", "c"])
+        assert are_strongly_bisimilar(algebraic, direct)
+
+    def test_composable(self):
+        spec = ProcessSpec()
+        spec.define("P", prefix("sync", ref("P")))
+        spec.define("Q", prefix("sync", prefix("local", ref("Q"))))
+        product = parallel(spec.to_lts("P"), spec.to_lts("Q"), sync=["sync"])
+        assert isinstance(product, IMC)
+        assert product.num_states == 2

@@ -1,0 +1,207 @@
+"""Tests for the three strictly-alternating transformation steps."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TransformationError
+from repro.imc.alternating import (
+    make_alternating,
+    make_markov_alternating,
+    strictly_alternating,
+    word_label,
+)
+from repro.imc.model import IMC, TAU, StateClass
+from tests.conftest import random_closed_uniform_imcs
+
+
+class TestStep1Alternating:
+    def test_hybrid_states_lose_markov_transitions(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, "a", 1)],
+            markov=[(0, 1.0, 2), (1, 2.0, 0)],
+        )
+        alternating = make_alternating(imc)
+        assert alternating.state_class(0) is StateClass.INTERACTIVE
+        assert alternating.markov == [(1, 2.0, 0)]
+
+    def test_pure_states_untouched(self):
+        imc = IMC(num_states=2, interactive=[(0, TAU, 1)], markov=[(1, 1.0, 0)])
+        alternating = make_alternating(imc)
+        assert alternating.interactive == imc.interactive
+        assert alternating.markov == imc.markov
+
+
+class TestStep2MarkovAlternating:
+    def test_markov_to_markov_is_split(self):
+        imc = IMC(num_states=2, markov=[(0, 2.0, 1), (1, 3.0, 0)])
+        result, fresh = make_markov_alternating(imc)
+        assert result.num_states == 4  # two fresh interleaving states
+        # Every Markov transition now ends in an interactive state.
+        for _src, _rate, dst in result.markov:
+            assert result.state_class(dst) is StateClass.INTERACTIVE
+        # Fresh states lead onwards via tau.
+        for fresh_state, target in fresh.items():
+            assert (fresh_state, TAU, target) in result.interactive
+
+    def test_multiple_rates_share_one_fresh_state(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 1), (0, 2.0, 1), (1, 1.0, 0)])
+        result, fresh = make_markov_alternating(imc)
+        assert len(fresh) == 2  # (0,1) and (1,0), not three
+
+    def test_markov_self_loop_split(self):
+        imc = IMC(num_states=1, markov=[(0, 1.0, 0)])
+        result, _fresh = make_markov_alternating(imc)
+        assert result.num_states == 2
+        assert result.state_class(0) is StateClass.MARKOV
+
+    def test_transition_into_interactive_untouched(self):
+        imc = IMC(
+            num_states=2, interactive=[(1, TAU, 0)], markov=[(0, 1.0, 1)]
+        )
+        result, fresh = make_markov_alternating(imc)
+        assert fresh == {}
+        assert result.markov == imc.markov
+
+    def test_hybrid_input_rejected(self):
+        imc = IMC(num_states=2, interactive=[(0, "a", 1)], markov=[(0, 1.0, 1)])
+        with pytest.raises(TransformationError):
+            make_markov_alternating(imc)
+
+
+class TestWordLabels:
+    def test_empty_word_is_tau(self):
+        assert word_label(()) == TAU
+
+    def test_visible_word_joined(self):
+        assert word_label(("a", "b")) == "a.b"
+
+
+class TestStep3ViaFullPipeline:
+    def test_visible_actions_spell_words(self):
+        # 0 --a--> 1 --b--> 2(Markov) and the initial state is interactive.
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, "a", 1), (1, "b", 2)],
+            markov=[(2, 1.0, 0)],
+        )
+        result = strictly_alternating(imc)
+        labels = {action for _s, action, _t in result.imc.interactive}
+        assert labels == {"a.b"}
+
+    def test_tau_dropped_from_words(self):
+        imc = IMC(
+            num_states=4,
+            interactive=[(0, TAU, 1), (1, "go", 2), (2, TAU, 3)],
+            markov=[(3, 1.0, 0)],
+        )
+        result = strictly_alternating(imc)
+        labels = {action for _s, action, _t in result.imc.interactive}
+        assert labels == {"go"}
+
+    def test_pure_tau_word(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, TAU, 1), (1, TAU, 2)],
+            markov=[(2, 1.0, 0)],
+        )
+        result = strictly_alternating(imc)
+        labels = {action for _s, action, _t in result.imc.interactive}
+        assert labels == {TAU}
+
+    def test_unreachable_interactive_states_pruned(self):
+        # State 1 is interactive but has no Markov predecessor and is not
+        # initial -> it disappears.
+        imc = IMC(
+            num_states=4,
+            interactive=[(0, TAU, 2), (1, TAU, 2)],
+            markov=[(2, 1.0, 3), (3, 1.0, 2)],
+            state_names=["init", "orphan", "m2", "m3"],
+        )
+        result = strictly_alternating(imc)
+        names = set(result.imc.state_names or [])
+        assert "orphan" not in names
+        assert "init" in names
+
+    def test_zeno_cycle_detected(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, TAU, 1), (1, TAU, 0)],
+            markov=[(2, 1.0, 0)],
+            initial=0,
+        )
+        with pytest.raises(TransformationError, match="Zeno|cycle"):
+            strictly_alternating(imc)
+
+    def test_interactive_deadlock_detected(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, TAU, 1)],
+            markov=[(2, 1.0, 0)],  # state 1 is absorbing
+            initial=0,
+        )
+        with pytest.raises(TransformationError, match="deadlock|absorbing"):
+            strictly_alternating(imc)
+
+    def test_absorbing_markov_target_detected(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 1)], initial=0)
+        with pytest.raises(TransformationError, match="absorbing"):
+            strictly_alternating(imc)
+
+    def test_word_explosion_capped(self):
+        # Diamond of visible actions: 2^k words.
+        interactive = []
+        layers = 12
+        for layer in range(layers):
+            interactive.append((layer, f"u{layer}", layer + 1))
+            interactive.append((layer, f"d{layer}", layer + 1))
+        imc = IMC(
+            num_states=layers + 1,
+            interactive=interactive,
+            markov=[(layers, 1.0, 0)],
+        )
+        with pytest.raises(TransformationError, match="exceeded"):
+            strictly_alternating(imc, max_words_per_state=100)
+
+    def test_markov_initial_state_gets_synthetic_initial(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 1)], interactive=[(1, TAU, 0)])
+        result = strictly_alternating(imc)
+        assert result.imc.name_of(result.imc.initial) == "<init>"
+        # The synthetic initial must be an interactive state with a tau word.
+        initial_moves = result.imc.interactive_successors(result.imc.initial)
+        assert initial_moves and all(a == TAU for a, _ in initial_moves)
+
+
+class TestStrictAlternationInvariants:
+    @given(imc=random_closed_uniform_imcs())
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_strictly_alternating(self, imc):
+        result = strictly_alternating(imc)
+        alt = result.imc
+        for state in range(alt.num_states):
+            cls = alt.state_class(state)
+            assert cls in (StateClass.MARKOV, StateClass.INTERACTIVE)
+            if cls is StateClass.MARKOV:
+                # Markov targets must all be interactive.
+                for _rate, dst in alt.markov_successors(state):
+                    assert alt.state_class(dst) is StateClass.INTERACTIVE
+            else:
+                # Interactive targets must all be Markov.
+                for _action, dst in alt.interactive_successors(state):
+                    assert alt.state_class(dst) is StateClass.MARKOV
+
+    @given(imc=random_closed_uniform_imcs(rate=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_uniformity_preserved(self, imc):
+        assert imc.is_uniform(closed=True)
+        result = strictly_alternating(imc)
+        assert result.imc.is_uniform(closed=True)
+
+    @given(imc=random_closed_uniform_imcs())
+    @settings(max_examples=60, deadline=None)
+    def test_state_maps_consistent(self, imc):
+        result = strictly_alternating(imc)
+        alt = result.imc
+        assert len(result.original_of) == alt.num_states
+        assert set(result.interactive_states).isdisjoint(result.markov_states)
+        assert len(result.interactive_states) + len(result.markov_states) == alt.num_states

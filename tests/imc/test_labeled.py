@@ -1,0 +1,106 @@
+"""Tests for LabeledIMC (observation threading through composition)."""
+
+import pytest
+
+from repro.core.reachability import timed_reachability
+from repro.ctmc.phase_type import PhaseType
+from repro.errors import ModelError
+from repro.imc.elapse import elapse
+from repro.imc.labeled import LabeledIMC, add_tuples
+from repro.imc.lts import lts
+from repro.imc.transform import imc_to_ctmdp
+
+
+def machine(kind_slot: int, slots: int = 2) -> LabeledIMC:
+    base = lts(2, [(0, "work", 1), (1, "rest", 0)], state_names=["busy", "idle"])
+    observation = [0] * slots
+    observation[kind_slot] = 1
+
+    def observe(state: int):
+        return tuple(observation) if state == 0 else (0,) * slots
+
+    return LabeledIMC.from_function(base, observe)
+
+
+class TestBasics:
+    def test_constant(self):
+        model = LabeledIMC.constant(lts(3, [(0, "a", 1), (1, "b", 2)]), "x")
+        assert model.observations == ["x", "x", "x"]
+
+    def test_length_checked(self):
+        with pytest.raises(ModelError):
+            LabeledIMC(imc=lts(2, []), observations=["only one"])
+
+    def test_add_tuples(self):
+        assert add_tuples((1, 0), (2, 3)) == (3, 3)
+        with pytest.raises(ModelError):
+            add_tuples((1,), (1, 2))
+
+    def test_states_where(self):
+        model = machine(0)
+        assert model.states_where(lambda obs: obs[0] == 1) == [0]
+
+
+class TestOperators:
+    def test_parallel_combines_observations(self):
+        product = machine(0).parallel(machine(1), sync=[])
+        # Initial product state: both busy.
+        assert product.observation_of(product.imc.initial) == (1, 1)
+        totals = {obs for obs in product.observations}
+        assert totals == {(1, 1), (1, 0), (0, 1), (0, 0)}
+
+    def test_custom_combiner(self):
+        left = LabeledIMC.constant(lts(1, []), "L")
+        right = LabeledIMC.constant(lts(1, []), "R")
+        product = left.parallel(right, combine=lambda a, b: a + b)
+        assert product.observations == ["LR"]
+
+    def test_hide_and_relabel_keep_observations(self):
+        model = machine(0)
+        assert model.hide(["work"]).observations == model.observations
+        assert model.relabel({"work": "produce"}).observations == model.observations
+
+    def test_relabel_observations(self):
+        model = machine(0).relabel_observations(lambda obs: obs[0] > 0)
+        assert model.observations == [True, False]
+
+    def test_minimize_respects_observations(self):
+        # Two parallel machines with symmetric structure: states with
+        # different observation sums must not merge.
+        clock = LabeledIMC.constant(
+            elapse(PhaseType.exponential(1.0), fire="work", reset="rest"), (0, 0)
+        )
+        system = machine(0).parallel(machine(1), sync=[])
+        system = system.parallel(clock, sync=["work", "rest"]).hide_all_but()
+        reduced = system.minimize()
+        assert reduced.imc.num_states <= system.imc.num_states
+        observed = {obs for obs in reduced.observations}
+        assert (1, 1) in observed
+
+
+class TestEndToEnd:
+    def test_observation_driven_goal_after_minimisation(self):
+        """Build, minimise, transform -- the goal predicate evaluated on
+        observations gives the same answer before and after quotient."""
+        clock = LabeledIMC.constant(
+            elapse(PhaseType.exponential(2.0), fire="work", reset="rest"), (0, 0)
+        )
+        rest_clock = LabeledIMC.constant(
+            elapse(PhaseType.exponential(3.0), fire="rest", reset="work", started=False),
+            (0, 0),
+        )
+        system = machine(0).parallel(machine(1), sync=[])
+        system = system.parallel(clock, sync=["work", "rest"])
+        system = system.parallel(rest_clock, sync=["work", "rest"])
+        closed = system.hide_all_but()
+        reduced = closed.minimize()
+
+        def analyse(model: LabeledIMC) -> float:
+            result = imc_to_ctmdp(model.imc, require_uniform=True)
+            idle = set(model.states_where(lambda obs: sum(obs) == 0))
+            mask = result.goal_mask_from_predicate(lambda s: s in idle, via="markov")
+            return timed_reachability(result.ctmdp, mask, 1.0, epsilon=1e-9).value(
+                result.ctmdp.initial
+            )
+
+        assert analyse(reduced) == pytest.approx(analyse(closed), abs=1e-8)

@@ -1,0 +1,211 @@
+"""Tests for the IMC model class and builder."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ModelError
+from repro.imc.model import IMC, TAU, IMCBuilder, StateClass
+from tests.conftest import random_imcs
+
+
+@pytest.fixture
+def mixed() -> IMC:
+    """0 hybrid, 1 interactive, 2 Markov, 3 absorbing."""
+    return IMC(
+        num_states=4,
+        interactive=[(0, "a", 1), (1, TAU, 2)],
+        markov=[(0, 1.0, 2), (2, 3.0, 3)],
+        initial=0,
+    )
+
+
+class TestClassification:
+    def test_state_classes(self, mixed):
+        assert mixed.state_class(0) is StateClass.HYBRID
+        assert mixed.state_class(1) is StateClass.INTERACTIVE
+        assert mixed.state_class(2) is StateClass.MARKOV
+        assert mixed.state_class(3) is StateClass.ABSORBING
+
+    def test_partition_covers_all_states(self, mixed):
+        partition = mixed.partition()
+        total = sum(len(states) for states in partition.values())
+        assert total == mixed.num_states
+        assert partition[StateClass.HYBRID] == [0]
+        assert partition[StateClass.ABSORBING] == [3]
+
+    def test_stability(self, mixed):
+        assert mixed.is_stable(0)  # only a visible action
+        assert not mixed.is_stable(1)  # tau
+        assert mixed.is_stable(2)
+        assert mixed.is_stable(3)
+
+    def test_special_cases(self):
+        lts_like = IMC(num_states=2, interactive=[(0, "a", 1)], markov=[])
+        ctmc_like = IMC(num_states=2, interactive=[], markov=[(0, 1.0, 1)])
+        assert lts_like.is_lts() and not lts_like.is_ctmc()
+        assert ctmc_like.is_ctmc() and not ctmc_like.is_lts()
+
+
+class TestRates:
+    def test_exit_rate(self, mixed):
+        assert mixed.exit_rate(0) == pytest.approx(1.0)
+        assert mixed.exit_rate(2) == pytest.approx(3.0)
+        assert mixed.exit_rate(1) == 0.0
+
+    def test_cumulative_rate_with_multiplicities(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 1), (0, 2.0, 1)])
+        assert imc.rate(0, 1) == pytest.approx(3.0)
+
+    def test_rate_into_set(self, mixed):
+        assert mixed.rate_into(0, [1, 2]) == pytest.approx(1.0)
+        assert mixed.rate_into(0, [1]) == 0.0
+
+
+class TestUniformity:
+    def test_lts_is_uniform_rate_zero(self):
+        imc = IMC(num_states=2, interactive=[(0, "a", 1), (1, "b", 0)])
+        assert imc.is_uniform()
+        assert imc.uniform_rate() == 0.0
+
+    def test_uniform_markov_chain(self):
+        imc = IMC(num_states=2, markov=[(0, 2.0, 1), (1, 2.0, 0)])
+        assert imc.is_uniform()
+        assert imc.uniform_rate() == pytest.approx(2.0)
+
+    def test_unstable_states_unconstrained(self):
+        # State 1 has tau, so its deviating rate does not break uniformity.
+        imc = IMC(
+            num_states=3,
+            interactive=[(1, TAU, 0)],
+            markov=[(0, 2.0, 1), (1, 99.0, 2), (2, 2.0, 0)],
+        )
+        assert imc.is_uniform()
+        assert imc.uniform_rate() == pytest.approx(2.0)
+
+    def test_visible_only_stable_state_breaks_uniformity(self):
+        # A stable state with only visible actions has exit rate 0 != 2.
+        imc = IMC(
+            num_states=2,
+            interactive=[(1, "a", 0)],
+            markov=[(0, 2.0, 1)],
+        )
+        assert not imc.is_uniform()
+
+    def test_unreachable_states_ignored(self):
+        imc = IMC(num_states=3, markov=[(0, 2.0, 0), (2, 77.0, 0)])
+        assert imc.is_uniform()
+
+    def test_non_uniform_detected(self):
+        imc = IMC(num_states=2, markov=[(0, 1.0, 1), (1, 2.0, 0)])
+        assert not imc.is_uniform()
+        with pytest.raises(ModelError):
+            imc.uniform_rate()
+
+
+class TestReachability:
+    def test_open_view_maximal_progress(self):
+        # State 0 has tau and a Markov transition; under the open view
+        # tau preempts, so state 2 is unreachable.
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, TAU, 1)],
+            markov=[(0, 1.0, 2)],
+        )
+        assert set(imc.reachable_states(closed=False)) == {0, 1}
+
+    def test_open_view_visible_does_not_preempt(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, "a", 1)],
+            markov=[(0, 1.0, 2)],
+        )
+        assert set(imc.reachable_states(closed=False)) == {0, 1, 2}
+
+    def test_closed_view_urgency(self):
+        imc = IMC(
+            num_states=3,
+            interactive=[(0, "a", 1)],
+            markov=[(0, 1.0, 2)],
+        )
+        assert set(imc.reachable_states(closed=True)) == {0, 1}
+
+    def test_restricted_to_reachable(self):
+        imc = IMC(
+            num_states=4,
+            interactive=[(0, "a", 1), (3, "b", 0)],
+            markov=[(1, 1.0, 0)],
+            state_names=["s0", "s1", "s2", "s3"],
+        )
+        pruned = imc.restricted_to_reachable()
+        assert pruned.num_states == 2
+        assert pruned.state_names == ["s0", "s1"]
+        assert pruned.initial == 0
+
+
+class TestValidation:
+    def test_empty_state_space_rejected(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=0)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=1, initial=1)
+
+    def test_transition_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=1, interactive=[(0, "a", 1)])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=2, markov=[(0, 0.0, 1)])
+
+    def test_empty_action_rejected(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=2, interactive=[(0, "", 1)])
+
+    def test_state_names_length_checked(self):
+        with pytest.raises(ModelError):
+            IMC(num_states=2, state_names=["x"])
+
+
+class TestBuilder:
+    def test_round_trip(self):
+        builder = IMCBuilder()
+        up = builder.state("up")
+        down = builder.state("down")
+        builder.interactive(up, "fail", down)
+        builder.markov(down, 2.0, up)
+        builder.tau(up, up)
+        imc = builder.build(initial=up)
+        assert imc.num_states == 2
+        assert imc.state_names == ["up", "down"]
+        assert (up, "fail", down) in imc.interactive
+        assert (up, TAU, up) in imc.interactive
+        assert imc.markov == [(down, 2.0, up)]
+
+    def test_state_lookup_by_name(self):
+        builder = IMCBuilder()
+        a = builder.state("a")
+        assert builder.state("a") == a
+
+    def test_anonymous_states_named(self):
+        builder = IMCBuilder()
+        s = builder.state()
+        assert builder.build().state_names[s] == f"s{s}"
+
+
+class TestRandomModels:
+    @given(imc=random_imcs())
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_disjoint_cover(self, imc):
+        partition = imc.partition()
+        seen = [s for states in partition.values() for s in states]
+        assert sorted(seen) == list(range(imc.num_states))
+
+    @given(imc=random_imcs())
+    @settings(max_examples=50, deadline=None)
+    def test_reachable_contains_initial(self, imc):
+        for closed in (False, True):
+            reachable = imc.reachable_states(closed=closed)
+            assert reachable[0] == imc.initial
+            assert len(set(reachable)) == len(reachable)

@@ -1,0 +1,93 @@
+"""Tests for word labels on partially closed models.
+
+The transformation of Section 4.1 labels compressed interactive
+sequences with *words* over ``Act+ \\ {tau} + {tau}``.  Fully closed
+models only ever produce the word ``tau``; these tests exercise the
+general case where visible actions remain (the paper's open-alphabet
+intermediate stages).
+"""
+
+import pytest
+
+from repro.core.reachability import timed_reachability
+from repro.imc.model import IMC, TAU
+from repro.imc.transform import imc_to_ctmdp
+
+
+class TestWordLabels:
+    def test_mixed_word_drops_taus(self):
+        # Markov -> (tau, a, tau, b) -> Markov: word "a.b".
+        imc = IMC(
+            num_states=6,
+            interactive=[
+                (1, TAU, 2),
+                (2, "a", 3),
+                (3, TAU, 4),
+                (4, "b", 5),
+            ],
+            markov=[(0, 1.0, 1), (5, 1.0, 1)],
+            initial=0,
+        )
+        result = imc_to_ctmdp(imc)
+        labels = set(result.ctmdp.labels) - {TAU}
+        assert labels == {"a.b"}
+
+    def test_branching_words_become_choices(self):
+        # From the decision state, two visible continuations: two
+        # distinctly labelled CTMDP transitions.
+        imc = IMC(
+            num_states=5,
+            interactive=[(1, "left", 2), (1, "right", 3)],
+            markov=[(0, 1.0, 1), (2, 2.0, 1), (3, 2.0, 1), (0, 1.0, 4), (4, 1.0, 1)],
+            initial=0,
+        )
+        result = imc_to_ctmdp(imc)
+        state_of_1 = list(result.state_original).index(1)
+        actions = {t.action for t in result.ctmdp.transitions_of(state_of_1)}
+        assert actions == {"left", "right"}
+
+    def test_same_word_different_targets_kept_separately(self):
+        """Two interactive paths spelling the same word into different
+        Markov states yield two transitions with the same label -- the
+        paper's 'mild variation' of CTMDPs."""
+        imc = IMC(
+            num_states=5,
+            interactive=[(1, "go", 2), (1, "go", 3)],
+            markov=[(0, 1.0, 1), (2, 1.0, 1), (3, 5.0, 1), (0, 1.0, 4), (4, 1.0, 1)],
+            initial=0,
+        )
+        result = imc_to_ctmdp(imc)
+        state_of_1 = list(result.state_original).index(1)
+        go_transitions = [
+            t for t in result.ctmdp.transitions_of(state_of_1) if t.action == "go"
+        ]
+        assert len(go_transitions) == 2
+        totals = sorted(t.total_rate() for t in go_transitions)
+        assert totals == [pytest.approx(1.0), pytest.approx(5.0)]
+
+    def test_scheduler_exploits_same_label_choices(self):
+        """The duplicate-label transitions are genuine alternatives: the
+        analysis must range over transitions, not actions."""
+        imc = IMC(
+            num_states=5,
+            interactive=[(1, "go", 2), (1, "go", 3)],
+            markov=[
+                (0, 2.0, 1),
+                (2, 2.0, 4),  # fast branch into the goal
+                (3, 0.5, 4),
+                (3, 1.5, 1),  # slow branch mostly recycles
+                (4, 2.0, 1),
+            ],
+            initial=0,
+        )
+        # Uniformity: state 3's exits sum to 2.0 like the others.
+        result = imc_to_ctmdp(imc, require_uniform=True)
+        goal = result.goal_mask_from_predicate(lambda s: s == 4, via="markov")
+        t = 1.0
+        sup = timed_reachability(result.ctmdp, goal, t, epsilon=1e-9).value(
+            result.ctmdp.initial
+        )
+        inf = timed_reachability(
+            result.ctmdp, goal, t, epsilon=1e-9, objective="min"
+        ).value(result.ctmdp.initial)
+        assert sup > inf + 1e-6

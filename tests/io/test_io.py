@@ -1,0 +1,122 @@
+"""Tests for .tra/.lab round trips and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+from repro.io.dot import ctmc_to_dot, ctmdp_to_dot, imc_to_dot, write_dot
+from repro.io.tra import (
+    read_ctmc_tra,
+    read_ctmdp_tra,
+    read_labels,
+    write_ctmc_tra,
+    write_ctmdp_tra,
+    write_labels,
+)
+from repro.imc.model import IMC, TAU
+from repro.models.zoo import two_phase_race_ctmdp
+
+
+class TestCTMCTra:
+    def test_round_trip(self, tmp_path):
+        chain = CTMC.from_transitions(
+            3, [(0, 1, 1.5), (1, 2, 0.25), (2, 0, 3.0), (0, 0, 0.5)]
+        )
+        path = tmp_path / "chain.tra"
+        write_ctmc_tra(chain, path)
+        loaded = read_ctmc_tra(path)
+        np.testing.assert_allclose(
+            loaded.rates.toarray(), chain.rates.toarray()
+        )
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.tra"
+        path.write_text("STATES 2\nTRANSITIONS 5\n1 2 1.0\n")
+        with pytest.raises(ModelError):
+            read_ctmc_tra(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tra"
+        path.write_text("NOTHEADER 2\n")
+        with pytest.raises(ModelError):
+            read_ctmc_tra(path)
+
+
+class TestCTMDPTra:
+    def test_round_trip(self, tmp_path):
+        ctmdp, _ = two_phase_race_ctmdp()
+        path = tmp_path / "model.tra"
+        write_ctmdp_tra(ctmdp, path)
+        loaded = read_ctmdp_tra(path)
+        assert loaded.num_states == ctmdp.num_states
+        assert loaded.labels == ctmdp.labels
+        assert loaded.initial == ctmdp.initial
+        np.testing.assert_allclose(
+            loaded.rate_matrix.toarray(), ctmdp.rate_matrix.toarray()
+        )
+
+    def test_preserves_duplicate_action_labels(self, tmp_path):
+        from repro.core.ctmdp import CTMDP
+
+        ctmdp = CTMDP.from_transitions(
+            2, [(0, "a", {0: 1.0}), (0, "a", {1: 1.0}), (1, "x", {1: 1.0})]
+        )
+        path = tmp_path / "dup.tra"
+        write_ctmdp_tra(ctmdp, path)
+        loaded = read_ctmdp_tra(path)
+        assert loaded.num_choices(0) == 2
+
+
+class TestLabels:
+    def test_round_trip(self, tmp_path):
+        mask = np.array([True, False, True, False])
+        path = tmp_path / "model.lab"
+        write_labels(mask, "goal", path)
+        loaded = read_labels(path, 4)
+        np.testing.assert_array_equal(loaded["goal"], mask)
+
+    def test_undeclared_proposition_rejected(self, tmp_path):
+        path = tmp_path / "bad.lab"
+        path.write_text("#DECLARATION\ngoal\n#END\n1 other\n")
+        with pytest.raises(ModelError):
+            read_labels(path, 2)
+
+    def test_state_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "bad.lab"
+        path.write_text("#DECLARATION\ngoal\n#END\n7 goal\n")
+        with pytest.raises(ModelError):
+            read_labels(path, 2)
+
+
+class TestDot:
+    def test_imc_dot_marks_transition_kinds(self):
+        imc = IMC(
+            num_states=2,
+            interactive=[(0, "a", 1), (1, TAU, 0)],
+            markov=[(0, 2.0, 1)],
+            state_names=["first", "second"],
+        )
+        dot = imc_to_dot(imc)
+        assert "digraph" in dot
+        assert "first" in dot and "second" in dot
+        assert "style=dashed" in dot  # tau
+        assert "style=dotted" in dot  # Markov
+        assert 'label="2"' in dot
+
+    def test_ctmc_dot(self):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.5)])
+        dot = ctmc_to_dot(chain)
+        assert 'label="1.5"' in dot
+
+    def test_ctmdp_dot_has_decision_nodes(self):
+        ctmdp, _ = two_phase_race_ctmdp()
+        dot = ctmdp_to_dot(ctmdp)
+        assert "shape=point" in dot
+        assert "direct" in dot and "detour" in dot
+
+    def test_write_dot(self, tmp_path):
+        chain = CTMC.from_transitions(2, [(0, 1, 1.0)])
+        path = tmp_path / "chain.dot"
+        write_dot(ctmc_to_dot(chain), path)
+        assert path.read_text().startswith("digraph")

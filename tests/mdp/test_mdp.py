@@ -1,0 +1,91 @@
+"""Tests for the discrete-time MDP/DTMC substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ModelError
+from repro.mdp.model import DTMC, DTMDP
+from repro.mdp.value_iteration import bounded_reachability, unbounded_reachability
+
+
+@pytest.fixture
+def coin_mdp() -> DTMDP:
+    """Choice between a fair coin into {goal, trap} and a slow sure path."""
+    return DTMDP.from_transitions(
+        4,
+        [
+            (0, "gamble", {2: 0.5, 3: 0.5}),
+            (0, "walk", {1: 1.0}),
+            (1, "walk", {2: 1.0}),
+            (2, "stay", {2: 1.0}),
+            (3, "stay", {3: 1.0}),
+        ],
+    )
+
+
+class TestDTMC:
+    def test_distribution_evolution(self):
+        chain = DTMC(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        np.testing.assert_allclose(chain.distribution_after(0), [1.0, 0.0])
+        np.testing.assert_allclose(chain.distribution_after(1), [0.0, 1.0])
+        np.testing.assert_allclose(chain.distribution_after(2), [1.0, 0.0])
+
+    def test_bounded_reachability(self):
+        chain = DTMC(np.array([[0.5, 0.5], [0.0, 1.0]]))
+        values = chain.bounded_reachability([1], 2)
+        assert values[0] == pytest.approx(0.75)
+
+    def test_substochastic_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC(np.array([[0.5, 0.4], [0.0, 1.0]]))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC(np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_negative_steps_rejected(self):
+        chain = DTMC(np.eye(2))
+        with pytest.raises(ModelError):
+            chain.distribution_after(-1)
+
+
+class TestDTMDP:
+    def test_construction_sorted(self, coin_mdp):
+        assert list(coin_mdp.sources) == sorted(coin_mdp.sources)
+        assert coin_mdp.num_choices(0) == 2
+        assert coin_mdp.num_transitions == 5
+
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            DTMDP.from_transitions(2, [(0, "a", {1: 0.5})])
+
+    def test_bounded_max(self, coin_mdp):
+        # One step: gamble gives 0.5; walking cannot arrive yet.
+        one = bounded_reachability(coin_mdp, [2], 1)
+        assert one[0] == pytest.approx(0.5)
+        # Two steps: walking arrives surely.
+        two = bounded_reachability(coin_mdp, [2], 2)
+        assert two[0] == pytest.approx(1.0)
+
+    def test_bounded_min(self, coin_mdp):
+        two = bounded_reachability(coin_mdp, [2], 2, objective="min")
+        assert two[0] == pytest.approx(0.5)
+
+    def test_unbounded(self, coin_mdp):
+        assert unbounded_reachability(coin_mdp, [2])[0] == pytest.approx(1.0)
+        assert unbounded_reachability(coin_mdp, [2], objective="min")[0] == pytest.approx(0.5)
+
+    def test_zero_steps(self, coin_mdp):
+        values = bounded_reachability(coin_mdp, [2], 0)
+        np.testing.assert_allclose(values, [0.0, 0.0, 1.0, 0.0])
+
+    def test_bad_objective(self, coin_mdp):
+        with pytest.raises(ModelError):
+            bounded_reachability(coin_mdp, [2], 1, objective="x")
+        with pytest.raises(ModelError):
+            unbounded_reachability(coin_mdp, [2], objective="x")
+
+    def test_negative_steps_rejected(self, coin_mdp):
+        with pytest.raises(ModelError):
+            bounded_reachability(coin_mdp, [2], -1)

@@ -1,0 +1,79 @@
+"""Tests for the SPRT-based statistical model checking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import StationaryScheduler
+from repro.ctmc.model import CTMC
+from repro.errors import ModelError
+from repro.models.zoo import two_phase_race_ctmdp
+from repro.sim.smc import sprt, sprt_ctmc_reachability, sprt_ctmdp_reachability
+
+
+class TestSPRTCore:
+    def test_clear_acceptance(self, rng):
+        # True p = 0.9, threshold 0.5: H0 (p >= theta) accepted fast.
+        result = sprt(lambda: rng.random() < 0.9, theta=0.5, delta=0.05)
+        assert result.accept_h0
+        assert result.samples < 200
+
+    def test_clear_rejection(self, rng):
+        result = sprt(lambda: rng.random() < 0.1, theta=0.5, delta=0.05)
+        assert not result.accept_h0
+        assert result.samples < 200
+
+    def test_needs_more_samples_near_threshold(self, rng):
+        far = sprt(lambda: rng.random() < 0.9, theta=0.5, delta=0.05)
+        near = sprt(lambda: rng.random() < 0.62, theta=0.5, delta=0.05)
+        assert near.samples > far.samples
+
+    def test_inconclusive_raises(self, rng):
+        with pytest.raises(ModelError, match="inconclusive"):
+            sprt(
+                lambda: rng.random() < 0.5,
+                theta=0.5,
+                delta=0.01,
+                max_samples=200,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta": 0.0},
+            {"theta": 1.0},
+            {"theta": 0.5, "delta": 0.0},
+            {"theta": 0.01, "delta": 0.05},
+            {"theta": 0.5, "alpha": 0.0},
+            {"theta": 0.5, "beta": 1.5},
+        ],
+    )
+    def test_parameter_validation(self, kwargs, rng):
+        with pytest.raises(ModelError):
+            sprt(lambda: True, **kwargs)
+
+    def test_estimate(self, rng):
+        result = sprt(lambda: rng.random() < 0.9, theta=0.5, delta=0.05)
+        assert 0.0 <= result.estimate <= 1.0
+
+
+class TestModelWrappers:
+    def test_ctmc_query_consistent_with_analytic(self, rng):
+        chain = CTMC.from_transitions(2, [(0, 1, 2.0)])
+        t = 1.0
+        analytic = 1.0 - math.exp(-2.0 * t)  # ~0.865
+        high = sprt_ctmc_reachability(chain, {1}, t, theta=0.5, delta=0.05, rng=rng)
+        assert high.accept_h0  # p ~ 0.86 >= 0.5
+        low = sprt_ctmc_reachability(chain, {1}, t, theta=0.99, delta=0.005, rng=rng)
+        assert not low.accept_h0  # p ~ 0.86 < 0.99
+        assert abs(analytic - 0.865) < 0.01  # sanity of the reference
+
+    def test_ctmdp_query_under_scheduler(self, rng):
+        ctmdp, _goal = two_phase_race_ctmdp()
+        scheduler = StationaryScheduler.from_list([1, 0, 0])
+        # At t = 2 the reachability under any scheduler is ~1.
+        result = sprt_ctmdp_reachability(
+            ctmdp, scheduler, {2}, t=2.0, theta=0.5, delta=0.05, rng=rng
+        )
+        assert result.accept_h0

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.ns == [1, 2, 4, 8, 16]
+        assert args.solve == [100.0]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--ns", "1", "--solve", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Inter.st" in out
+        assert "Runtime 50h (s)" in out
+
+    def test_table1_without_solving(self, capsys):
+        assert main(["table1", "--ns", "1", "--solve"]) == 0
+        out = capsys.readouterr().out
+        assert "Iter 30000h" in out
+
+    def test_figure4(self, capsys):
+        code = main(
+            ["figure4", "--n", "1", "--t-max", "100", "--points", "3", "--no-min"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CTMDP sup" in out
+        assert "CTMDP inf" not in out
+
+    def test_figure4_too_few_points(self, capsys):
+        assert main(["figure4", "--points", "1"]) == 2
+
+    def test_compositional(self, capsys):
+        assert main(["compositional", "--ns", "1"]) == 0
+        assert "CTMDP states" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        prefix = tmp_path / "ftwc"
+        assert main(["export", "--n", "1", "--out-prefix", str(prefix)]) == 0
+        assert (tmp_path / "ftwc.tra").exists()
+        assert (tmp_path / "ftwc.lab").exists()
+        assert (tmp_path / "ftwc.dot").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--kind", "repair", "--n", "1", "--values", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case P" in out
+
+    def test_sweep_size(self, capsys):
+        assert main(["sweep", "--kind", "size", "--values", "1", "2", "--t", "50"]) == 0
+        assert "N" in capsys.readouterr().out
+
+    def test_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--scale", "quick"]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()
+
+    def test_check_query(self, capsys):
+        code = main(["check", 'Pmax<=0.01 [ F<=3 "no_premium" ]', "--n", "1"])
+        assert code == 0
+        assert "[True]" in capsys.readouterr().out
+
+    def test_check_query_violated(self, capsys):
+        code = main(["check", 'Pmax<=1e-9 [ F<=100 "no_premium" ]', "--n", "1"])
+        assert code == 1
+        assert "[False]" in capsys.readouterr().out
+
+    def test_check_on_ctmc(self, capsys):
+        code = main(["check", 'S=? [ "premium" ]', "--n", "1", "--ctmc"])
+        assert code == 0
+        assert "S=?" in capsys.readouterr().out
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 checks passed" in out
+        assert "FAIL" not in out
