@@ -1,0 +1,84 @@
+"""Benchmark: the analysis engine's two wins.
+
+* **Registry, cold vs warm** -- building the FTWC uCTMDP for N=4 from
+  scratch versus loading it from the engine's disk cache.  The warm
+  path must skip construction entirely (``models_built`` absent from
+  the counters) and still yield a bitwise-identical analysis.
+* **Batched sweep vs independent calls** -- the 11-point Figure 4 time
+  sweep answered through one engine batch (one build, one prepared
+  solver, one Fox-Glynn per bound) versus 11 independent
+  ``timed_reachability`` calls that each rebuild everything.  The
+  values must agree bitwise: batching changes the cost of an analysis,
+  never its outcome.
+"""
+
+import time
+
+import pytest
+
+from repro.core.reachability import timed_reachability
+from repro.engine import ModelRegistry, Query, QueryEngine
+from repro.models import ftwc_direct
+
+SPEC = {"family": "ftwc", "n": 4}
+TIME_POINTS = tuple(float(t) for t in range(0, 501, 50))  # 11 points
+
+
+def test_registry_cold_vs_warm(benchmark, tmp_path):
+    cold_registry = ModelRegistry(cache_dir=tmp_path)
+    started = time.perf_counter()
+    cold = cold_registry.get(SPEC)
+    cold_seconds = time.perf_counter() - started
+    assert cold.source == "build"
+
+    def warm_lookup():
+        return ModelRegistry(cache_dir=tmp_path).get(SPEC)
+
+    warm = benchmark(warm_lookup)
+    assert warm.source == "disk"
+
+    reference = timed_reachability(cold.model, cold.goal_mask, 100.0)
+    reloaded = timed_reachability(warm.model, warm.goal_mask, 100.0)
+    assert reference.value(cold.model.initial) == reloaded.value(warm.model.initial)
+
+    benchmark.extra_info["cold_build_seconds"] = cold_seconds
+    benchmark.extra_info["states"] = cold.stats["states"]
+    print(
+        f"\ncold build {cold_seconds:.3f} s vs warm disk load "
+        f"{benchmark.stats.stats.mean:.3f} s "
+        f"({cold.stats['states']} states)"
+    )
+
+
+def test_batched_sweep_vs_independent_calls(benchmark):
+    def independent_sweep():
+        values = []
+        for t in TIME_POINTS:
+            model = ftwc_direct.build_ctmdp(4)
+            values.append(
+                timed_reachability(model.ctmdp, model.goal_mask, t).value(
+                    model.ctmdp.initial
+                )
+            )
+        return values
+
+    started = time.perf_counter()
+    independent = independent_sweep()
+    independent_seconds = time.perf_counter() - started
+
+    def batched_sweep():
+        engine = QueryEngine()
+        batch = engine.run([Query(model=SPEC, t=t) for t in TIME_POINTS])
+        assert engine.metrics.counter("models_built") == 1
+        return batch.values()
+
+    batched = benchmark.pedantic(batched_sweep, rounds=3, iterations=1)
+    assert batched == independent  # bitwise, not approx
+
+    benchmark.extra_info["independent_seconds"] = independent_seconds
+    benchmark.extra_info["speedup"] = independent_seconds / benchmark.stats.stats.mean
+    print(
+        f"\n{len(TIME_POINTS)}-point sweep: independent {independent_seconds:.3f} s, "
+        f"batched {benchmark.stats.stats.mean:.3f} s "
+        f"({independent_seconds / benchmark.stats.stats.mean:.1f}x)"
+    )

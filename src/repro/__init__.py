@@ -18,7 +18,7 @@ Typical usage::
     print(result.value(model.ctmdp.initial))
 """
 
-from repro import analysis, bisim, core, ctmc, imc, io, logic, mdp, models, numerics, sim
+from repro import analysis, bisim, core, ctmc, engine, imc, io, logic, mdp, models, numerics, sim
 from repro.errors import (
     CompositionError,
     ModelError,
@@ -36,6 +36,7 @@ __all__ = [
     "bisim",
     "core",
     "ctmc",
+    "engine",
     "imc",
     "io",
     "logic",

@@ -23,7 +23,8 @@ import numpy as np
 from repro.analysis.stats import AlternatingStatistics, ctmdp_alternating_statistics
 from repro.core.reachability import timed_reachability
 from repro.ctmc.reachability import timed_reachability_curve
-from repro.models import ftwc, ftwc_direct
+from repro.engine import Query, QueryEngine
+from repro.models import ftwc
 from repro.numerics.foxglynn import poisson_right_truncation
 
 __all__ = [
@@ -78,6 +79,7 @@ def table1_row(
     time_bounds: tuple[float, ...] = (100.0, 30000.0),
     solve_bounds: tuple[float, ...] | None = None,
     epsilon: float = 1e-6,
+    engine: QueryEngine | None = None,
 ) -> Table1Row:
     """Generate the FTWC for ``n`` and analyse it per Table 1.
 
@@ -97,28 +99,37 @@ def table1_row(
         measured in days.
     epsilon:
         Truncation precision (the paper uses 1e-6).
+    engine:
+        Optional :class:`~repro.engine.QueryEngine` to issue the
+        analyses through; all solve bounds then share one registered
+        model and one prepared solver, and repeated rows (or a warm
+        registry) skip construction entirely.  A private memory-only
+        engine is created when omitted.
     """
     if solve_bounds is None:
         solve_bounds = time_bounds
-    started = time.perf_counter()
-    model = ftwc_direct.build_ctmdp(n)
-    generation = time.perf_counter() - started
-    rate = model.ctmdp.uniform_rate()
+    engine = engine if engine is not None else QueryEngine()
+    spec = {"family": "ftwc", "n": n}
+    built = engine.model(spec)
+    rate = built.model.uniform_rate()
 
     row = Table1Row(
         n=n,
-        stats=ctmdp_alternating_statistics(model.ctmdp),
-        generation_seconds=generation,
+        stats=ctmdp_alternating_statistics(built.model),
+        generation_seconds=float(built.stats.get("build_seconds", 0.0)),
         uniform_rate=rate,
         time_bounds=tuple(time_bounds),
     )
     for bound in time_bounds:
         row.iterations[bound] = poisson_right_truncation(rate * bound, epsilon)
-    for bound in solve_bounds:
-        started = time.perf_counter()
-        result = timed_reachability(model.ctmdp, model.goal_mask, bound, epsilon=epsilon)
-        row.runtime_seconds[bound] = time.perf_counter() - started
-        row.probability[bound] = result.value(model.ctmdp.initial)
+    batch = engine.run(
+        [Query(model=spec, t=bound, epsilon=epsilon) for bound in solve_bounds]
+    )
+    for bound, result in zip(solve_bounds, batch.results):
+        if result.error is not None:
+            raise RuntimeError(f"table1 query at t={bound} failed: {result.error}")
+        row.runtime_seconds[bound] = result.seconds
+        row.probability[bound] = result.value
         row.iterations[bound] = result.iterations
     return row
 
@@ -128,14 +139,18 @@ def run_table1(
     time_bounds: tuple[float, ...] = (100.0, 30000.0),
     solve_bounds: tuple[float, ...] | None = (100.0,),
     epsilon: float = 1e-6,
+    engine: QueryEngine | None = None,
 ) -> list[Table1Row]:
     """All rows of Table 1.
 
     By default only the 100 h bound is solved (the 30000 h iteration
     counts are still reported exactly); pass ``solve_bounds=None`` to
-    solve every bound.
+    solve every bound.  All rows share one query engine (one registry),
+    so re-running a table against a warm registry re-solves nothing it
+    has seen before.
     """
-    return [table1_row(n, time_bounds, solve_bounds, epsilon) for n in ns]
+    engine = engine if engine is not None else QueryEngine()
+    return [table1_row(n, time_bounds, solve_bounds, epsilon, engine=engine) for n in ns]
 
 
 @dataclass
@@ -156,6 +171,7 @@ def figure4_curves(
     gamma: float = 10.0,
     epsilon: float = 1e-6,
     include_min: bool = True,
+    engine: QueryEngine | None = None,
 ) -> Figure4Curves:
     """Worst-case CTMDP vs CTMC probabilities over a time-bound sweep.
 
@@ -163,29 +179,32 @@ def figure4_curves(
     observation -- the CTMC *overestimates* the worst case, exposing the
     modelling flaw of replacing nondeterminism by fast races -- shows as
     ``ctmc >= ctmdp_max`` pointwise.
+
+    All queries run through the batched engine: the CTMDP is built
+    exactly once and shared by the sup and inf sweeps (one prepared
+    solver per objective, one Fox-Glynn computation per time bound), and
+    the CTMC curve reuses the registry-cached chain with the forward
+    mass-series optimisation of :func:`timed_reachability_curve`.
     """
     ts = np.asarray(list(time_points), dtype=np.float64)
-    model = ftwc_direct.build_ctmdp(n)
-    ctmdp_max = np.array(
-        [
-            timed_reachability(model.ctmdp, model.goal_mask, t, epsilon=epsilon).value(
-                model.ctmdp.initial
-            )
-            for t in ts
-        ]
-    )
-    ctmdp_min = None
+    engine = engine if engine is not None else QueryEngine()
+    spec = {"family": "ftwc", "n": n}
+    queries = [Query(model=spec, t=float(t), epsilon=epsilon) for t in ts]
     if include_min:
-        ctmdp_min = np.array(
-            [
-                timed_reachability(
-                    model.ctmdp, model.goal_mask, t, epsilon=epsilon, objective="min"
-                ).value(model.ctmdp.initial)
-                for t in ts
-            ]
-        )
-    chain, _configs, goal = ftwc_direct.build_ctmc(n, gamma=gamma)
-    ctmc = timed_reachability_curve(chain, goal, ts, epsilon=min(epsilon, 1e-8))
+        queries += [
+            Query(model=spec, t=float(t), objective="min", epsilon=epsilon) for t in ts
+        ]
+    batch = engine.run(queries)
+    failed = [result for result in batch.results if result.error is not None]
+    if failed:
+        raise RuntimeError(f"figure4 query failed: {failed[0].error}")
+    values = batch.values()
+    ctmdp_max = np.array(values[: len(ts)])
+    ctmdp_min = np.array(values[len(ts) :]) if include_min else None
+    chain = engine.model({"family": "ftwc-ctmc", "n": n, "gamma": gamma})
+    ctmc = timed_reachability_curve(
+        chain.model, chain.goal_mask, ts, epsilon=min(epsilon, 1e-8)
+    )
     return Figure4Curves(
         n=n, time_points=ts, ctmdp_max=ctmdp_max, ctmdp_min=ctmdp_min, ctmc=ctmc, gamma=gamma
     )
@@ -196,6 +215,7 @@ def run_figure4(
     large_n: int = 16,
     time_points: tuple[float, ...] = tuple(float(t) for t in range(0, 501, 50)),
     gamma: float = 10.0,
+    engine: QueryEngine | None = None,
 ) -> list[Figure4Curves]:
     """Both panels of Figure 4.
 
@@ -203,9 +223,10 @@ def run_figure4(
     so the figure regenerates in minutes rather than days -- pass
     ``large_n=128`` for the full-size run.
     """
+    engine = engine if engine is not None else QueryEngine()
     return [
-        figure4_curves(small_n, time_points, gamma),
-        figure4_curves(large_n, time_points, gamma),
+        figure4_curves(small_n, time_points, gamma, engine=engine),
+        figure4_curves(large_n, time_points, gamma, engine=engine),
     ]
 
 

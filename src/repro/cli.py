@@ -6,11 +6,14 @@ Usage examples::
     repro figure4 --n 4 --t-max 500 --points 11
     repro compositional --ns 1 2
     repro export --n 2 --out-prefix /tmp/ftwc2
+    repro batch queries.json --workers 4
+    repro serve --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -25,7 +28,32 @@ from repro.analysis.tables import (
     render_table1,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the module constant."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="model registry disk cache directory (default: ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="keep the model registry in memory only",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,8 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Uniformity by construction: regenerate the DSN 2007 FTWC "
-            "experiments (Table 1, Figure 4) and export models."
+            "experiments (Table 1, Figure 4), export models, and serve "
+            "timed-reachability queries."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,6 +137,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the cross-validation battery (independent implementations "
         "must agree)",
     )
+
+    batch = sub.add_parser(
+        "batch",
+        help="answer a JSON file of timed-reachability queries through the "
+        "model registry and batched solver",
+    )
+    batch.add_argument("queries", help="path to the batch file (JSON)")
+    batch.add_argument(
+        "--out", default=None, help="write the result document here (default: stdout)"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan model groups out over this many worker processes",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-query wall-clock budget (s)"
+    )
+    _add_cache_arguments(batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="JSON-lines query server on stdin/stdout (one request per "
+        "line, one response per line)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-query wall-clock budget (s)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan batch-request model groups out over worker processes",
+    )
+    _add_cache_arguments(serve)
 
     return parser
 
@@ -227,9 +295,85 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace):
+    from repro.engine import QueryEngine, default_cache_dir
+
+    if args.no_disk_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = str(default_cache_dir())
+    return QueryEngine(
+        cache_dir=cache_dir,
+        workers=getattr(args, "workers", None),
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ModelError
+
+    try:
+        document = json.loads(Path(args.queries).read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"cannot read {args.queries}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"invalid JSON in {args.queries}: {exc}", file=sys.stderr)
+        return 2
+    if isinstance(document, list):
+        records, defaults = document, None
+    elif isinstance(document, dict) and isinstance(document.get("queries"), list):
+        records, defaults = document["queries"], document.get("defaults")
+    else:
+        print(
+            "batch file must be a JSON list of queries or an object with "
+            "a 'queries' list (and optional 'defaults')",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine = _make_engine(args)
+    try:
+        batch = engine.run_dicts(records, defaults=defaults)
+    except ModelError as exc:
+        print(f"invalid batch defaults: {exc}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(batch.as_dict(), indent=1)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.out} ({len(batch.results)} results)", file=sys.stderr)
+    else:
+        print(rendered)
+    if batch.num_failed:
+        print(f"{batch.num_failed} quer(y/ies) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import serve as engine_serve
+
+    return engine_serve(engine=_make_engine(args))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit code.
+
+    Argument-parsing failures (including unknown subcommands) are
+    reported via exit code 2, as is argparse convention; ``--version``
+    and ``--help`` return 0.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 2
     handlers = {
         "table1": _cmd_table1,
         "figure4": _cmd_figure4,
@@ -239,6 +383,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "check": _cmd_check,
         "selfcheck": _cmd_selfcheck,
+        "batch": _cmd_batch,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

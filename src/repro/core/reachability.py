@@ -44,7 +44,12 @@ from repro.core.ctmdp import CTMDP
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import FoxGlynn, fox_glynn
 
-__all__ = ["ReachabilityResult", "timed_reachability", "unbounded_reachability"]
+__all__ = [
+    "ReachabilityResult",
+    "PreparedTimedReachability",
+    "timed_reachability",
+    "unbounded_reachability",
+]
 
 
 @dataclass
@@ -97,6 +102,120 @@ def _goal_mask(ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
     return mask
 
 
+class PreparedTimedReachability:
+    """Reusable setup for repeated timed-reachability solves on one model.
+
+    The expensive, time-bound-independent part of Algorithm 1 -- the
+    row-stochastic ``T x S`` probability matrix, the per-transition
+    goal-hitting probabilities and the segment bookkeeping for the
+    per-state optimisation -- is computed once in the constructor; each
+    :meth:`solve` call then only performs the Fox-Glynn computation for
+    its own ``(t, epsilon)`` and the backward iteration.  A whole time
+    sweep over one ``(model, goal)`` pair therefore shares a single
+    setup, which is what the batched query engine exploits.
+
+    :func:`timed_reachability` delegates to this class, so prepared and
+    one-shot solves are bitwise-identical.
+    """
+
+    def __init__(self, ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> None:
+        self.ctmdp = ctmdp
+        self.mask = _goal_mask(ctmdp, goal)
+        self.num_states = ctmdp.num_states
+        self._ready = False
+        if not self.mask.any():
+            return
+        rate = ctmdp.uniform_rate()  # raises NonUniformError when violated
+        if rate <= 0.0:
+            raise NonUniformError("uniform rate must be strictly positive for analysis")
+        self.rate = rate
+        self.prob = ctmdp.probability_matrix()  # T x S, row-stochastic
+        self.goal_vec = self.mask.astype(np.float64)
+        self.prob_to_goal = self.prob @ self.goal_vec  # Pr_R(s, B) per row
+
+        # Segment bookkeeping for the per-state maximisation: transitions
+        # are sorted by source, so each state's rows are contiguous.
+        # States without transitions keep value 0 (they cannot reach B).
+        counts = np.diff(ctmdp.choice_ptr)
+        self.nonempty = counts > 0
+        self.segment_starts = ctmdp.choice_ptr[:-1][self.nonempty]
+        self.repeat_counts = counts[self.nonempty]
+        self.goal_idx = np.flatnonzero(self.mask)
+        self._ready = True
+
+    def solve(
+        self,
+        t: float,
+        epsilon: float = 1e-6,
+        objective: str = "max",
+        record_scheduler: bool = False,
+    ) -> ReachabilityResult:
+        """Solve one time bound against the prepared model/goal pair."""
+        if objective not in ("max", "min"):
+            raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+        if t < 0.0:
+            raise ModelError("time bound must be non-negative")
+        num_states = self.num_states
+
+        if t == 0.0 or not self._ready:
+            values = self.mask.astype(np.float64)
+            dummy = fox_glynn(0.0, min(epsilon, 0.5))
+            return ReachabilityResult(
+                values=values,
+                iterations=0,
+                uniform_rate=self.ctmdp.uniform_rate() if self.ctmdp.num_transitions else 0.0,
+                time_bound=t,
+                objective=objective,
+                poisson=dummy,
+            )
+
+        fg = fox_glynn(self.rate * t, epsilon)
+        psi = fg.probabilities()
+        k = fg.right
+
+        prob = self.prob
+        prob_to_goal = self.prob_to_goal
+        nonempty = self.nonempty
+        segment_starts = self.segment_starts
+        goal_idx = self.goal_idx
+        reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+
+        decisions = None
+        if record_scheduler:
+            decisions = np.full((k, num_states), -1, dtype=np.int32)
+
+        q = np.zeros(num_states)
+        for i in range(k, 0, -1):
+            psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+            transition_values = psi_i * prob_to_goal + prob @ q
+            best = reduce_fn(transition_values, segment_starts)
+            new_q = np.zeros(num_states)
+            new_q[nonempty] = best
+            new_q[goal_idx] = psi_i + q[goal_idx]
+            if decisions is not None:
+                # First transition attaining the optimum within each segment.
+                expanded = np.repeat(best, self.repeat_counts)
+                hits = np.flatnonzero(transition_values >= expanded - 1e-15)
+                firsts = np.searchsorted(hits, segment_starts, side="left")
+                chosen_rows = hits[firsts]
+                decisions[i - 1, nonempty] = (chosen_rows - segment_starts).astype(np.int32)
+            q = new_q
+
+        values = q.copy()
+        values[goal_idx] = 1.0
+        np.clip(values, 0.0, 1.0, out=values)
+
+        return ReachabilityResult(
+            values=values,
+            iterations=k,
+            uniform_rate=self.rate,
+            time_bound=t,
+            objective=objective,
+            poisson=fg,
+            decisions=decisions,
+        )
+
+
 def timed_reachability(
     ctmdp: CTMDP,
     goal: Iterable[int] | np.ndarray,
@@ -131,80 +250,8 @@ def timed_reachability(
     -------
     ReachabilityResult
     """
-    if objective not in ("max", "min"):
-        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
-    if t < 0.0:
-        raise ModelError("time bound must be non-negative")
-    mask = _goal_mask(ctmdp, goal)
-    num_states = ctmdp.num_states
-
-    if t == 0.0 or not mask.any():
-        values = mask.astype(np.float64)
-        dummy = fox_glynn(0.0, min(epsilon, 0.5))
-        return ReachabilityResult(
-            values=values,
-            iterations=0,
-            uniform_rate=ctmdp.uniform_rate() if ctmdp.num_transitions else 0.0,
-            time_bound=t,
-            objective=objective,
-            poisson=dummy,
-        )
-
-    rate = ctmdp.uniform_rate()  # raises NonUniformError when violated
-    if rate <= 0.0:
-        raise NonUniformError("uniform rate must be strictly positive for analysis")
-
-    fg = fox_glynn(rate * t, epsilon)
-    psi = fg.probabilities()
-    k = fg.right
-
-    prob = ctmdp.probability_matrix()  # T x S, row-stochastic
-    goal_vec = mask.astype(np.float64)
-    prob_to_goal = prob @ goal_vec  # Pr_R(s, B) per transition row
-
-    # Segment bookkeeping for the per-state maximisation: transitions are
-    # sorted by source, so each state's rows are contiguous.  States
-    # without transitions keep value 0 (they cannot reach B).
-    counts = np.diff(ctmdp.choice_ptr)
-    nonempty = counts > 0
-    segment_starts = ctmdp.choice_ptr[:-1][nonempty]
-    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
-
-    decisions = None
-    repeat_counts = counts[nonempty]
-    if record_scheduler:
-        decisions = np.full((k, num_states), -1, dtype=np.int32)
-
-    goal_idx = np.flatnonzero(mask)
-    q = np.zeros(num_states)
-    for i in range(k, 0, -1):
-        psi_i = psi[i - fg.left] if i >= fg.left else 0.0
-        transition_values = psi_i * prob_to_goal + prob @ q
-        best = reduce_fn(transition_values, segment_starts)
-        new_q = np.zeros(num_states)
-        new_q[nonempty] = best
-        new_q[goal_idx] = psi_i + q[goal_idx]
-        if decisions is not None:
-            # First transition attaining the optimum within each segment.
-            expanded = np.repeat(best, repeat_counts)
-            hits = np.flatnonzero(transition_values >= expanded - 1e-15)
-            firsts = np.searchsorted(hits, segment_starts, side="left")
-            chosen_rows = hits[firsts]
-            decisions[i - 1, nonempty] = (chosen_rows - segment_starts).astype(np.int32)
-        q = new_q
-
-    values = q.copy()
-    values[goal_idx] = 1.0
-    np.clip(values, 0.0, 1.0, out=values)
-
-    return ReachabilityResult(
-        values=values,
-        iterations=k,
-        uniform_rate=rate,
-        time_bound=t,
-        objective=objective,
-        poisson=fg,
-        decisions=decisions,
+    return PreparedTimedReachability(ctmdp, goal).solve(
+        t, epsilon=epsilon, objective=objective, record_scheduler=record_scheduler
     )
 
 

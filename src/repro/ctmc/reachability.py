@@ -24,7 +24,13 @@ from repro.ctmc.uniformization import uniformized_jump_matrix
 from repro.errors import ModelError
 from repro.numerics.foxglynn import fox_glynn
 
-__all__ = ["timed_reachability", "timed_reachability_curve", "interval_reachability", "goal_mask"]
+__all__ = [
+    "PreparedCTMCReachability",
+    "timed_reachability",
+    "timed_reachability_curve",
+    "interval_reachability",
+    "goal_mask",
+]
 
 
 def goal_mask(num_states: int, goal: Iterable[int]) -> np.ndarray:
@@ -73,45 +79,77 @@ def timed_reachability(
         Vector ``v`` with ``v[s] = Pr(s |= diamond^{<=t} goal)``; goal
         states have probability one.
     """
-    n = ctmc.num_states
-    if isinstance(goal, np.ndarray) and goal.dtype == bool:
-        mask = goal
-    else:
-        mask = goal_mask(n, goal)
-    if mask.shape != (n,):
-        raise ModelError(f"goal mask must have shape ({n},)")
-    if t < 0.0:
-        raise ModelError("time bound must be non-negative")
-    if t == 0.0 or not mask.any():
-        return mask.astype(np.float64)
+    return PreparedCTMCReachability(ctmc, goal, rate=rate).solve(t, epsilon=epsilon)
 
-    # Make goal states absorbing: zero their rows before uniformizing.
-    rates = ctmc.rates.tolil(copy=True)
-    for state in np.where(mask)[0]:
-        rates.rows[state] = []
-        rates.data[state] = []
-    absorbed = CTMC(rates=sp.csr_matrix(rates), initial=ctmc.initial)
 
-    p, e = uniformized_jump_matrix(absorbed, rate)
-    fg = fox_glynn(e * t, epsilon)
-    psi = fg.probabilities()
+class PreparedCTMCReachability:
+    """Reusable setup for repeated CTMC timed-reachability solves.
 
-    goal_vec = mask.astype(np.float64)
-    # q accumulates, backwards over i = right..1, the probability to be
-    # absorbed in B within the remaining jumps (cf. Algorithm 1 without
-    # the max over transitions).
-    q = np.zeros(n)
-    p_goal = p @ goal_vec
-    for i in range(fg.right, 0, -1):
-        psi_i = psi[i - fg.left] if i >= fg.left else 0.0
-        q_next = q
-        q = psi_i * p_goal + p @ q_next
-        # Goal states accumulate the remaining Poisson mass and are never
-        # left (their rows in p are pure self-loops, but the explicit
-        # update keeps the recursion exact also at i = right).
-        q[mask] = psi_i + q_next[mask]
-    q[mask] = 1.0
-    return np.clip(q, 0.0, 1.0)
+    Making the goal absorbing and uniformizing the modified chain do not
+    depend on the time bound; this class performs them once so a whole
+    time sweep shares the setup.  :func:`timed_reachability` delegates
+    here, keeping prepared and one-shot solves bitwise-identical.
+    """
+
+    def __init__(
+        self,
+        ctmc: CTMC,
+        goal: Iterable[int] | np.ndarray,
+        rate: float | None = None,
+    ) -> None:
+        n = ctmc.num_states
+        if isinstance(goal, np.ndarray) and goal.dtype == bool:
+            mask = goal
+        else:
+            mask = goal_mask(n, goal)
+        if mask.shape != (n,):
+            raise ModelError(f"goal mask must have shape ({n},)")
+        self.ctmc = ctmc
+        self.mask = mask
+        self.num_states = n
+        self._ready = False
+        if not mask.any():
+            return
+
+        # Make goal states absorbing: zero their rows before uniformizing.
+        rates = ctmc.rates.tolil(copy=True)
+        for state in np.where(mask)[0]:
+            rates.rows[state] = []
+            rates.data[state] = []
+        absorbed = CTMC(rates=sp.csr_matrix(rates), initial=ctmc.initial)
+
+        self.p, self.e = uniformized_jump_matrix(absorbed, rate)
+        goal_vec = mask.astype(np.float64)
+        self.p_goal = self.p @ goal_vec
+        self._ready = True
+
+    def solve(self, t: float, epsilon: float = 1e-10) -> np.ndarray:
+        """Reachability probabilities for one time bound, per state."""
+        if t < 0.0:
+            raise ModelError("time bound must be non-negative")
+        if t == 0.0 or not self._ready:
+            return self.mask.astype(np.float64)
+
+        mask = self.mask
+        p = self.p
+        fg = fox_glynn(self.e * t, epsilon)
+        psi = fg.probabilities()
+
+        # q accumulates, backwards over i = right..1, the probability to be
+        # absorbed in B within the remaining jumps (cf. Algorithm 1 without
+        # the max over transitions).
+        q = np.zeros(self.num_states)
+        p_goal = self.p_goal
+        for i in range(fg.right, 0, -1):
+            psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+            q_next = q
+            q = psi_i * p_goal + p @ q_next
+            # Goal states accumulate the remaining Poisson mass and are never
+            # left (their rows in p are pure self-loops, but the explicit
+            # update keeps the recursion exact also at i = right).
+            q[mask] = psi_i + q_next[mask]
+        q[mask] = 1.0
+        return np.clip(q, 0.0, 1.0)
 
 
 def timed_reachability_curve(

@@ -1,0 +1,411 @@
+"""Batched multi-query solver over the content-addressed registry.
+
+:func:`run_batch` answers a list of :class:`~repro.engine.plan.Query`
+records.  The batch is planned (grouped by shared ``(model, goal,
+objective)`` setup, each group sorted by time bound), every group's
+model is resolved through the registry (so repeated batches skip
+construction entirely), and each group is answered against one prepared
+solver: a single transition-matrix/goal-mask setup, one Fox-Glynn
+computation per time bound.  Prepared solves are bitwise-identical to
+independent :func:`repro.core.reachability.timed_reachability` calls --
+batching changes the cost, never the answer.
+
+Failure isolation: a query that raises (unknown goal label, numerical
+failure, per-query timeout) produces an *error record*; the rest of the
+batch is unaffected.  Groups over different models can fan out across a
+process pool (``workers > 1``); each worker resolves its model through
+the shared on-disk cache and ships its metrics back for aggregation.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.reachability import PreparedTimedReachability
+from repro.ctmc.reachability import PreparedCTMCReachability
+from repro.engine.metrics import EngineMetrics
+from repro.engine.plan import Query, QueryGroup, plan_queries, query_from_dict
+from repro.engine.registry import BuiltModel, ModelRegistry
+from repro.numerics.foxglynn import poisson_right_truncation
+
+__all__ = [
+    "QueryResult",
+    "BatchResult",
+    "QueryTimeout",
+    "run_batch",
+    "run_batch_dicts",
+    "QueryEngine",
+]
+
+
+class QueryTimeout(Exception):
+    """A single query exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _time_limit(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`QueryTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer``, which only works on the
+    main thread of a POSIX process; elsewhere (or with no limit) the
+    body runs unguarded.  Process-pool workers execute tasks on their
+    main thread, so per-query timeouts hold there too.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0.0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - trivial
+        raise QueryTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query, successful or failed.
+
+    ``value`` is the probability from the model's initial state (``None``
+    on failure); ``cache`` records where the model came from (``"build"``,
+    ``"memory"`` or ``"disk"``); ``seconds`` is the solve wall-clock time
+    of this query alone.
+    """
+
+    index: int
+    query: Query | None
+    value: float | None = None
+    iterations: int | None = None
+    seconds: float = 0.0
+    model_key: str = ""
+    cache: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the query produced a value."""
+        return self.error is None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-compatible record (the shape ``repro batch`` emits)."""
+        return {
+            "index": self.index,
+            "query": self.query.as_dict() if self.query is not None else None,
+            "value": self.value,
+            "iterations": self.iterations,
+            "seconds": self.seconds,
+            "model_key": self.model_key,
+            "cache": self.cache,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchResult:
+    """All results of one batch, in input order, plus engine metrics."""
+
+    results: list[QueryResult]
+    metrics: EngineMetrics = field(default_factory=EngineMetrics)
+
+    def values(self) -> list[float | None]:
+        """The per-query probabilities (``None`` where a query failed)."""
+        return [result.value for result in self.results]
+
+    @property
+    def num_failed(self) -> int:
+        return sum(not result.ok for result in self.results)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "results": [result.as_dict() for result in self.results],
+            "metrics": self.metrics.as_dict(),
+        }
+
+
+def _error_results(
+    group: QueryGroup, message: str, cache: str | None = None
+) -> list[QueryResult]:
+    return [
+        QueryResult(
+            index=index,
+            query=query,
+            model_key=group.model_key,
+            cache=cache,
+            error=message,
+        )
+        for index, query in group.members
+    ]
+
+
+def _solve_group(
+    registry: ModelRegistry, group: QueryGroup, timeout: float | None
+) -> list[QueryResult]:
+    """Answer one group against a single prepared solver."""
+    metrics = registry.metrics
+    try:
+        built = registry.get(group.spec)
+    except Exception as exc:
+        return _error_results(group, f"model build failed: {exc}")
+    try:
+        goal = built.goal(group.goal)
+        with metrics.timer("prepare_seconds"):
+            if built.kind == "ctmdp":
+                prepared: PreparedTimedReachability | PreparedCTMCReachability = (
+                    PreparedTimedReachability(built.model, goal)
+                )
+            else:
+                prepared = PreparedCTMCReachability(built.model, goal)
+    except Exception as exc:
+        return _error_results(group, f"{type(exc).__name__}: {exc}", cache=built.source)
+
+    has_goal = bool(goal.any())
+    results = []
+    for index, query in group.members:
+        started = time.perf_counter()
+        try:
+            with _time_limit(timeout):
+                if built.kind == "ctmdp":
+                    outcome = prepared.solve(query.t, query.epsilon, group.objective)
+                    value = outcome.value(built.model.initial)
+                    iterations = outcome.iterations
+                else:
+                    values = prepared.solve(query.t, query.epsilon)
+                    value = float(values[built.model.initial])
+                    iterations = (
+                        poisson_right_truncation(prepared.e * query.t, query.epsilon)
+                        if query.t > 0.0 and has_goal
+                        else 0
+                    )
+            seconds = time.perf_counter() - started
+            metrics.add_time("solve_seconds", seconds)
+            metrics.count("foxglynn")
+            metrics.count("iterations", iterations)
+            results.append(
+                QueryResult(
+                    index=index,
+                    query=query,
+                    value=value,
+                    iterations=iterations,
+                    seconds=seconds,
+                    model_key=group.model_key,
+                    cache=built.source,
+                )
+            )
+        except QueryTimeout:
+            results.append(
+                QueryResult(
+                    index=index,
+                    query=query,
+                    seconds=time.perf_counter() - started,
+                    model_key=group.model_key,
+                    cache=built.source,
+                    error=f"query timed out after {timeout} s",
+                )
+            )
+        except Exception as exc:
+            results.append(
+                QueryResult(
+                    index=index,
+                    query=query,
+                    seconds=time.perf_counter() - started,
+                    model_key=group.model_key,
+                    cache=built.source,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return results
+
+
+def _worker_solve_group(
+    group: QueryGroup, cache_dir: str | None, timeout: float | None
+) -> tuple[list[QueryResult], dict]:
+    """Process-pool entry point: solve one group in a fresh registry.
+
+    The worker shares only the on-disk cache with the parent; its
+    metrics snapshot is returned for aggregation.
+    """
+    registry = ModelRegistry(cache_dir=cache_dir)
+    results = _solve_group(registry, group, timeout)
+    return results, registry.metrics.as_dict()
+
+
+def run_batch(
+    queries: Iterable[Query],
+    registry: ModelRegistry | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
+) -> BatchResult:
+    """Answer a batch of queries; results come back in input order.
+
+    Parameters
+    ----------
+    queries:
+        The batch.  Order is preserved in ``BatchResult.results``.
+    registry:
+        Model cache to resolve specs through; a fresh memory-only
+        registry by default.
+    workers:
+        With ``workers > 1`` and more than one model group, groups fan
+        out over a process pool of that size.  Workers share the
+        registry's *disk* cache (when configured) but not its memory.
+    timeout:
+        Optional per-query wall-clock budget in seconds; an overrunning
+        query yields an error record, the batch continues.
+    """
+    batch = list(queries)
+    registry = registry if registry is not None else ModelRegistry()
+    metrics = registry.metrics
+    groups = plan_queries(batch)
+
+    slots: list[QueryResult | None] = [None] * len(batch)
+    if workers is not None and workers > 1 and len(groups) > 1:
+        import concurrent.futures
+        import multiprocessing
+
+        cache_dir = str(registry.cache_dir) if registry.cache_dir is not None else None
+        # Fork (where available) avoids re-importing __main__ in workers
+        # and starts orders of magnitude faster; spawn is the fallback.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        pool_size = min(workers, len(groups))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_worker_solve_group, group, cache_dir, timeout): group
+                for group in groups
+            }
+            for future in concurrent.futures.as_completed(futures):
+                group = futures[future]
+                try:
+                    results, worker_metrics = future.result()
+                    metrics.merge(worker_metrics)
+                except Exception as exc:
+                    results = _error_results(group, f"worker failed: {exc}")
+                for result in results:
+                    slots[result.index] = result
+    else:
+        for group in groups:
+            for result in _solve_group(registry, group, timeout):
+                slots[result.index] = result
+
+    results = [slot for slot in slots if slot is not None]
+    metrics.count("queries_total", len(results))
+    failed = sum(not result.ok for result in results)
+    if failed:
+        metrics.count("queries_failed", failed)
+    return BatchResult(results=results, metrics=metrics)
+
+
+def run_batch_dicts(
+    records: Sequence[Mapping[str, Any]],
+    defaults: Mapping[str, Any] | None = None,
+    registry: ModelRegistry | None = None,
+    workers: int | None = None,
+    timeout: float | None = None,
+) -> BatchResult:
+    """Like :func:`run_batch`, but over raw query dictionaries.
+
+    Malformed records become error results at their batch position
+    instead of aborting the batch -- the contract of the ``repro batch``
+    and ``repro serve`` front-ends.
+    """
+    registry = registry if registry is not None else ModelRegistry()
+    parsed: list[tuple[int, Query]] = []
+    parse_errors: dict[int, str] = {}
+    for index, record in enumerate(records):
+        try:
+            parsed.append((index, query_from_dict(record, defaults)))
+        except Exception as exc:
+            parse_errors[index] = f"invalid query: {exc}"
+
+    inner = run_batch(
+        [query for _index, query in parsed],
+        registry=registry,
+        workers=workers,
+        timeout=timeout,
+    )
+    slots: list[QueryResult | None] = [None] * len(records)
+    for (index, _query), result in zip(parsed, inner.results):
+        result.index = index
+        slots[index] = result
+    for index, message in parse_errors.items():
+        slots[index] = QueryResult(index=index, query=None, error=message)
+    registry.metrics.count("queries_total", len(parse_errors))
+    if parse_errors:
+        registry.metrics.count("queries_failed", len(parse_errors))
+    return BatchResult(
+        results=[slot for slot in slots if slot is not None],
+        metrics=registry.metrics,
+    )
+
+
+class QueryEngine:
+    """Facade bundling a registry with batch execution defaults.
+
+    The experiment harness and the CLI front-ends construct one engine
+    and issue every query through it, so all entry points share the same
+    cache and metrics stream::
+
+        engine = QueryEngine()
+        batch = engine.run([Query(model={"family": "ftwc", "n": 4}, t=100.0)])
+        print(batch.results[0].value, engine.metrics.counter("cache_misses"))
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        cache_dir: str | None = None,
+        workers: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if registry is None:
+            registry = ModelRegistry(cache_dir=cache_dir)
+        self.registry = registry
+        self.workers = workers
+        self.timeout = timeout
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        """The engine's shared metrics collector."""
+        return self.registry.metrics
+
+    def model(self, spec: Mapping[str, Any]) -> BuiltModel:
+        """Resolve a model spec through the registry."""
+        return self.registry.get(spec)
+
+    def run(self, queries: Iterable[Query]) -> BatchResult:
+        """Answer a batch of :class:`Query` records."""
+        return run_batch(
+            queries, registry=self.registry, workers=self.workers, timeout=self.timeout
+        )
+
+    def run_dicts(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        defaults: Mapping[str, Any] | None = None,
+    ) -> BatchResult:
+        """Answer a batch of raw query dictionaries."""
+        return run_batch_dicts(
+            records,
+            defaults=defaults,
+            registry=self.registry,
+            workers=self.workers,
+            timeout=self.timeout,
+        )

@@ -97,6 +97,26 @@ class TestFigure4:
         assert "CTMDP sup" in text
         assert "N=1" in text
 
+    def test_ctmdp_built_exactly_once(self, monkeypatch):
+        # Both sweeps (sup and inf over all time points) must share one
+        # registered model; only the CTMC approximation adds a second build.
+        from repro.models import ftwc_direct
+
+        calls = {"ctmdp": 0}
+        real_build = ftwc_direct.build_ctmdp
+
+        def counting_build(*args, **kwargs):
+            calls["ctmdp"] += 1
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(ftwc_direct, "build_ctmdp", counting_build)
+        curves = figure4_curves(
+            1, time_points=(0.0, 50.0, 100.0, 150.0), include_min=True
+        )
+        assert calls["ctmdp"] == 1
+        assert curves.ctmdp_min is not None
+        assert curves.ctmdp_max.shape == (4,)
+
 
 class TestCompositionalRow:
     def test_row(self):

@@ -1,0 +1,146 @@
+"""Tests for the content-addressed model registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.reachability import timed_reachability
+from repro.engine.registry import ModelRegistry, default_cache_dir
+from repro.errors import ModelError
+from repro.models import ftwc_direct
+
+SPEC = {"family": "ftwc", "n": 1}
+
+
+@pytest.fixture
+def counted_builds(monkeypatch):
+    """Count calls to the direct CTMDP generator."""
+    calls = {"ctmdp": 0, "ctmc": 0}
+    real_ctmdp, real_ctmc = ftwc_direct.build_ctmdp, ftwc_direct.build_ctmc
+
+    def ctmdp_wrapper(*args, **kwargs):
+        calls["ctmdp"] += 1
+        return real_ctmdp(*args, **kwargs)
+
+    def ctmc_wrapper(*args, **kwargs):
+        calls["ctmc"] += 1
+        return real_ctmc(*args, **kwargs)
+
+    monkeypatch.setattr(ftwc_direct, "build_ctmdp", ctmdp_wrapper)
+    monkeypatch.setattr(ftwc_direct, "build_ctmc", ctmc_wrapper)
+    return calls
+
+
+class TestMemoryCache:
+    def test_second_lookup_is_a_memory_hit(self, counted_builds):
+        registry = ModelRegistry()
+        first = registry.get(SPEC)
+        second = registry.get(SPEC)
+        assert second is first
+        assert second.source == "memory"
+        assert counted_builds["ctmdp"] == 1
+        assert registry.metrics.counter("cache_hits_memory") == 1
+        assert registry.metrics.counter("cache_misses") == 1
+
+    def test_different_specs_do_not_collide(self, counted_builds):
+        registry = ModelRegistry()
+        small = registry.get({"family": "ftwc", "n": 1})
+        degraded = registry.get({"family": "ftwc", "n": 1, "quality_threshold": 1})
+        assert small.key != degraded.key
+        assert counted_builds["ctmdp"] == 2
+        # The relaxed quality threshold has a smaller goal set.
+        assert degraded.goal_mask.sum() <= small.goal_mask.sum()
+
+    def test_built_model_carries_labels_and_stats(self):
+        built = ModelRegistry().get(SPEC)
+        assert built.kind == "ctmdp"
+        assert set(built.labels) == {"no_premium", "premium"}
+        np.testing.assert_array_equal(built.labels["premium"], ~built.goal_mask)
+        assert built.stats["states"] == built.model.num_states
+        assert built.stats["build_seconds"] > 0.0
+        assert built.stats["uniform_rate"] == pytest.approx(built.model.uniform_rate())
+        with pytest.raises(ModelError):
+            built.goal("nonsense")
+
+    def test_ctmc_family_builds_a_chain(self):
+        built = ModelRegistry().get({"family": "ftwc-ctmc", "n": 1})
+        assert built.kind == "ctmc"
+        assert built.goal_mask.any()
+
+    def test_compositional_family_matches_direct_route(self):
+        registry = ModelRegistry()
+        direct = registry.get(SPEC)
+        composed = registry.get({"family": "ftwc-compositional", "n": 1})
+        p_direct = timed_reachability(direct.model, direct.goal_mask, 100.0).value(
+            direct.model.initial
+        )
+        p_composed = timed_reachability(composed.model, composed.goal_mask, 100.0).value(
+            composed.model.initial
+        )
+        assert p_composed == pytest.approx(p_direct, rel=1e-9)
+
+
+class TestDiskCache:
+    def test_round_trip_skips_construction(self, tmp_path, counted_builds):
+        cold = ModelRegistry(cache_dir=tmp_path)
+        built = cold.get(SPEC)
+        assert built.source == "build"
+        assert counted_builds["ctmdp"] == 1
+        assert cold.metrics.counter("disk_writes") == 1
+
+        warm = ModelRegistry(cache_dir=tmp_path)
+        loaded = warm.get(SPEC)
+        assert loaded.source == "disk"
+        assert counted_builds["ctmdp"] == 1  # no rebuild
+        assert warm.metrics.counter("cache_hits_disk") == 1
+        assert warm.metrics.counter("models_built") == 0
+
+    def test_round_trip_is_bitwise_exact(self, tmp_path):
+        cold = ModelRegistry(cache_dir=tmp_path)
+        fresh = cold.get(SPEC)
+        loaded = ModelRegistry(cache_dir=tmp_path).get(SPEC)
+        for t in (10.0, 100.0):
+            a = timed_reachability(fresh.model, fresh.goal_mask, t)
+            b = timed_reachability(loaded.model, loaded.goal_mask, t)
+            np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(fresh.goal_mask, loaded.goal_mask)
+        assert loaded.stats["build_seconds"] == fresh.stats["build_seconds"]
+
+    def test_ctmc_round_trip(self, tmp_path, counted_builds):
+        spec = {"family": "ftwc-ctmc", "n": 1}
+        ModelRegistry(cache_dir=tmp_path).get(spec)
+        loaded = ModelRegistry(cache_dir=tmp_path).get(spec)
+        assert loaded.source == "disk"
+        assert counted_builds["ctmc"] == 1
+
+    def test_corrupt_cache_entry_degrades_to_rebuild(self, tmp_path, counted_builds):
+        registry = ModelRegistry(cache_dir=tmp_path)
+        built = registry.get(SPEC)
+        for path in tmp_path.glob(f"{built.key}*"):
+            path.write_text("garbage", encoding="utf-8")
+        again = ModelRegistry(cache_dir=tmp_path).get(SPEC)
+        assert again.source == "build"
+        assert counted_builds["ctmdp"] == 2
+
+    def test_clear_memory_keeps_disk(self, tmp_path, counted_builds):
+        registry = ModelRegistry(cache_dir=tmp_path)
+        registry.get(SPEC)
+        registry.clear_memory()
+        assert len(registry) == 0
+        assert registry.get(SPEC).source == "disk"
+        assert counted_builds["ctmdp"] == 1
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_cache_dir().name == "repro"

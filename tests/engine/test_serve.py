@@ -1,0 +1,90 @@
+"""Tests for the JSON-lines query server."""
+
+import io
+import json
+
+from repro.engine import QueryEngine
+from repro.engine.serve import serve
+
+SPEC = {"family": "ftwc", "n": 1}
+
+
+def run_session(*requests, engine=None):
+    """Feed request lines through ``serve`` and return parsed responses."""
+    lines = []
+    for request in requests:
+        lines.append(request if isinstance(request, str) else json.dumps(request))
+    source = io.StringIO("\n".join(lines) + "\n")
+    sink = io.StringIO()
+    code = serve(engine=engine, input_stream=source, output_stream=sink)
+    assert code == 0
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestProtocol:
+    def test_ping(self):
+        (response,) = run_session({"op": "ping"})
+        assert response == {"ok": True}
+
+    def test_single_query_is_the_default_op(self):
+        (response,) = run_session({"model": SPEC, "t": 10.0})
+        assert response["error"] is None
+        assert 0.0 < response["value"] < 1.0
+        assert response["iterations"] > 0
+
+    def test_batch(self):
+        (response,) = run_session(
+            {
+                "op": "batch",
+                "defaults": {"model": SPEC},
+                "queries": [{"t": 10.0}, {"t": 100.0}],
+            }
+        )
+        values = [record["value"] for record in response["results"]]
+        assert values[0] < values[1]
+        assert response["metrics"]["counters"]["models_built"] == 1
+
+    def test_metrics_snapshot_reflects_session(self):
+        first, second = run_session(
+            {"model": SPEC, "t": 10.0}, {"op": "metrics"}
+        )
+        assert first["error"] is None
+        assert second["metrics"]["counters"]["queries_total"] == 1
+
+    def test_shutdown_stops_the_loop(self):
+        responses = run_session({"op": "shutdown"}, {"op": "ping"})
+        assert responses == [{"ok": True, "shutdown": True}]
+
+    def test_registry_is_warm_across_requests(self):
+        engine = QueryEngine()
+        run_session({"model": SPEC, "t": 10.0}, {"model": SPEC, "t": 20.0}, engine=engine)
+        assert engine.metrics.counter("models_built") == 1
+        assert engine.metrics.counter("cache_hits_memory") == 1
+
+
+class TestRobustness:
+    def test_invalid_json_reports_and_continues(self):
+        bad, good = run_session("{not json", {"op": "ping"})
+        assert "invalid JSON" in bad["error"]
+        assert good == {"ok": True}
+
+    def test_non_object_request(self):
+        (response,) = run_session("[1, 2, 3]")
+        assert "JSON object" in response["error"]
+
+    def test_unknown_op(self):
+        (response,) = run_session({"op": "launch"})
+        assert "unknown op" in response["error"]
+
+    def test_bad_query_reports_in_band(self):
+        bad, good = run_session({"t": 10.0}, {"model": SPEC, "t": 10.0})
+        assert bad["error"] is not None
+        assert good["error"] is None
+
+    def test_batch_without_queries_list(self):
+        (response,) = run_session({"op": "batch", "queries": "nope"})
+        assert "queries" in response["error"]
+
+    def test_blank_lines_are_skipped(self):
+        responses = run_session("", {"op": "ping"}, "")
+        assert responses == [{"ok": True}]

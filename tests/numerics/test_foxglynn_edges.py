@@ -1,0 +1,96 @@
+"""Fox-Glynn edge cases, cross-checked against scipy's Poisson pmf.
+
+The engine hands the Fox-Glynn finder/weighter parameters from opposite
+ends of the spectrum: a query at ``t`` just above zero on a slow model
+gives ``lam = E*t < 1``, while the paper's 30000 h bound on the FTWC
+(``E ~ 2``) gives ``lam`` in the tens of thousands; N=128 pushes it
+towards ``4e5``.  These tests pin down the behaviour at those extremes
+and at epsilon near machine precision.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import poisson
+
+from repro.numerics.foxglynn import fox_glynn, poisson_right_truncation
+
+
+def assert_matches_scipy(lam, epsilon, atol):
+    """Weights normalised by the total must match scipy's pmf pointwise."""
+    result = fox_glynn(lam, epsilon)
+    indices = np.arange(result.left, result.right + 1)
+    reference = poisson.pmf(indices, lam)
+    np.testing.assert_allclose(result.probabilities(), reference, atol=atol)
+    # The neglected mass really is below epsilon.
+    neglected = poisson.cdf(result.left - 1, lam) + poisson.sf(result.right, lam)
+    assert neglected <= epsilon
+
+
+class TestSmallParameter:
+    @pytest.mark.parametrize("lam", [0.3, 0.9, 1.0 - 1e-12])
+    def test_lam_below_one(self, lam):
+        assert_matches_scipy(lam, 1e-3, atol=1e-12)
+
+    def test_mode_zero_window_starts_at_zero(self):
+        result = fox_glynn(0.3, 1e-3)
+        assert result.left == 0
+        # Mass at zero dominates: e^{-0.3} ~ 0.74.
+        assert result.probability(0) == pytest.approx(math.exp(-0.3), abs=1e-12)
+
+    def test_tiny_lam_tight_epsilon(self):
+        assert_matches_scipy(1e-6, 1e-10, atol=1e-15)
+
+    def test_zero_lam_degenerate(self):
+        result = fox_glynn(0.0)
+        assert (result.left, result.right) == (0, 0)
+        assert result.probability(0) == 1.0
+
+
+class TestLargeParameter:
+    @pytest.mark.parametrize("lam", [4.0e5, 6.3e5])
+    def test_lam_in_the_hundreds_of_thousands(self, lam):
+        # N=128 at t=30000 h in Table 1 lands in this regime.
+        result = fox_glynn(lam, 1e-6)
+        assert result.left > 0  # the left tail really is truncated
+        assert result.left < lam < result.right
+        # Window width grows like sqrt(lam), not lam.
+        assert len(result) < 20.0 * math.sqrt(lam)
+        indices = np.arange(result.left, result.right + 1)
+        # The two-sided recurrence spans ~10^4 multiplications here, so
+        # allow a few ulps of accumulated relative error per step.
+        np.testing.assert_allclose(
+            result.probabilities(), poisson.pmf(indices, lam), rtol=1e-6, atol=1e-15
+        )
+
+    def test_truncation_point_bounds_the_tail(self):
+        for lam in (1.0e3, 1.0e5, 4.0e5):
+            right = poisson_right_truncation(lam, 1e-6)
+            assert poisson.sf(right, lam) <= 1e-6
+
+    def test_large_lam_weights_are_finite_and_normalised(self):
+        result = fox_glynn(4.0e5, 1e-6)
+        assert np.isfinite(result.weights).all()
+        assert result.probabilities().sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestTightEpsilon:
+    @pytest.mark.parametrize("lam", [0.5, 40.0, 2000.0])
+    def test_epsilon_near_machine_precision(self, lam):
+        assert_matches_scipy(lam, 1e-15, atol=1e-12)
+
+    def test_tighter_epsilon_never_shrinks_the_window(self):
+        for lam in (0.5, 40.0, 2000.0):
+            loose = fox_glynn(lam, 1e-4)
+            tight = fox_glynn(lam, 1e-15)
+            assert tight.left <= loose.left
+            assert tight.right >= loose.right
+
+    def test_iteration_counts_match_paper_regime(self):
+        # Sanity anchor: the paper's 62161 iterations for N=1 at 30000 h
+        # correspond to lam = E * t with E ~ 2.058; the truncation point
+        # must sit a few sigma beyond lam.
+        lam = 2.058 * 30000.0
+        right = poisson_right_truncation(lam, 1e-6)
+        assert lam < right < lam + 10.0 * math.sqrt(lam)

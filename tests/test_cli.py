@@ -1,8 +1,14 @@
 """Tests for the command-line interface."""
 
+import io
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, package_version
+
+SMOKE_FILE = Path(__file__).parent.parent / "examples" / "queries_smoke.json"
 
 
 class TestParser:
@@ -14,6 +20,38 @@ class TestParser:
         args = build_parser().parse_args(["table1"])
         assert args.ns == [1, 2, 4, 8, 16]
         assert args.solve == [100.0]
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "queries.json"])
+        assert args.queries == "queries.json"
+        assert args.out is None
+        assert args.workers is None
+        assert args.timeout is None
+        assert not args.no_disk_cache
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--timeout", "5", "--cache-dir", "/tmp/c"]
+        )
+        assert args.timeout == 5.0
+        assert args.cache_dir == "/tmp/c"
+
+
+class TestExitCodes:
+    def test_version_prints_package_version(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {package_version()}"
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_missing_subcommand_exits_2(self, capsys):
+        assert main([]) == 2
+
+    def test_help_exits_0(self, capsys):
+        assert main(["--help"]) == 0
+        assert "batch" in capsys.readouterr().out
 
 
 class TestCommands:
@@ -88,3 +126,85 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "6/6 checks passed" in out
         assert "FAIL" not in out
+
+
+class TestBatchCommand:
+    def test_batch_smoke_file(self, tmp_path, capsys):
+        code = main(
+            ["batch", str(SMOKE_FILE), "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["results"]) == 3
+        for record in document["results"]:
+            assert record["error"] is None
+            assert 0.0 <= record["value"] <= 1.0
+        assert document["metrics"]["counters"]["queries_total"] == 3
+
+    def test_warm_cache_skips_construction(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", str(SMOKE_FILE), "--cache-dir", cache]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["metrics"]["counters"]["models_built"] == 2
+
+        assert main(["batch", str(SMOKE_FILE), "--cache-dir", cache]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        counters = warm["metrics"]["counters"]
+        assert counters["cache_hits_disk"] > 0
+        assert "models_built" not in counters
+
+    def test_out_file(self, tmp_path):
+        out = tmp_path / "results.json"
+        code = main(
+            ["batch", str(SMOKE_FILE), "--no-disk-cache", "--out", str(out)]
+        )
+        assert code == 0
+        assert len(json.loads(out.read_text())["results"]) == 3
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken", encoding="utf-8")
+        assert main(["batch", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_wrong_shape_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "shape.json"
+        path.write_text('{"not_queries": []}', encoding="utf-8")
+        assert main(["batch", str(path)]) == 2
+
+    def test_failed_query_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "partial.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"model": {"family": "ftwc", "n": 1}, "t": 10.0},
+                    {"model": {"family": "ftwc", "n": 1}, "t": -1.0},
+                ]
+            ),
+            encoding="utf-8",
+        )
+        assert main(["batch", str(path), "--no-disk-cache"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"][0]["error"] is None
+        assert document["results"][1]["error"] is not None
+
+
+class TestServeCommand:
+    def test_serve_round_trip(self, monkeypatch, capsys):
+        requests = [
+            json.dumps({"op": "ping"}),
+            json.dumps({"model": {"family": "ftwc", "n": 1}, "t": 10.0}),
+            json.dumps({"op": "shutdown"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(requests) + "\n"))
+        assert main(["serve", "--no-disk-cache"]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert responses[0] == {"ok": True}
+        assert responses[1]["error"] is None
+        assert responses[2]["shutdown"] is True
