@@ -8,6 +8,12 @@ Usage examples::
     repro export --n 2 --out-prefix /tmp/ftwc2
     repro batch queries.json --workers 4
     repro serve --cache-dir ~/.cache/repro
+    repro lint --model ftwc -n 1
+    repro lint model.tra --format json --strict
+
+Exit codes: most commands follow the 0 = success, 1 = domain failure,
+2 = usage convention.  ``repro check`` adds 3 for quantitative queries
+(``P=?``), which compute a value but no true/false verdict.
 """
 
 from __future__ import annotations
@@ -122,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser(
         "check",
         help="evaluate a CSL-style query on the FTWC "
-        '(labels: "no_premium", "premium")',
+        '(labels: "no_premium", "premium"; exit 0 satisfied, 1 violated, '
+        "3 quantitative/no verdict)",
     )
     query.add_argument("query", help='e.g. Pmax=? [ F<=100 "no_premium" ]')
     query.add_argument("--n", type=int, default=2)
@@ -136,6 +143,35 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck",
         help="run the cross-validation battery (independent implementations "
         "must agree)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of models: uniformity, alternation, numerics "
+        "(exit 0 clean, 1 findings, 2 usage/load error)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="model files to lint (.tra transition files or .json model "
+        "documents)",
+    )
+    lint.add_argument(
+        "--model",
+        choices=["ftwc", "ftwc-ctmc", "ftwc-compositional"],
+        default=None,
+        help="lint a builtin model family instead of (or besides) files; "
+        "'ftwc-compositional' also runs the pipeline invariant pass "
+        "(Lemmas 1-3, strict alternation)",
+    )
+    lint.add_argument("-n", type=int, default=2, help="cluster size for --model")
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as findings (exit 1)",
     )
 
     batch = sub.add_parser(
@@ -261,7 +297,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
     labels = {"no_premium": mask, "premium": ~mask}
     result = check(args.query, model, labels, epsilon=args.epsilon)
     print(result)
-    return 0 if result.satisfied in (None, True) else 1
+    if result.satisfied is None:
+        # Quantitative queries (P=?) compute a value but no verdict; do
+        # not conflate "no verdict" with "satisfied" (exit 0).
+        return 3
+    return 0 if result.satisfied else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.lint import LintReport, lint_model, lint_path, lint_pipeline
+
+    if not args.paths and args.model is None:
+        print("nothing to lint: pass model files or --model", file=sys.stderr)
+        return 2
+
+    reports: list[LintReport] = []
+    for path in args.paths:
+        try:
+            reports.append(lint_path(path))
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"cannot lint {path}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.model is not None:
+        from repro.models import ftwc, ftwc_direct
+
+        target = f"{args.model}[n={args.n}]"
+        if args.model == "ftwc":
+            direct = ftwc_direct.build_ctmdp(args.n)
+            report = LintReport(target=target, kind="ctmdp")
+            report.extend(lint_model(direct.ctmdp, goal=direct.goal_mask))
+        elif args.model == "ftwc-ctmc":
+            chain, _configs, goal = ftwc_direct.build_ctmc(args.n)
+            report = LintReport(target=target, kind="ctmc")
+            report.extend(lint_model(chain, goal=goal))
+        else:
+            system = ftwc.build_system_imc(args.n)
+            report = LintReport(target=target, kind="pipeline")
+            report.extend(lint_pipeline(system.imc))
+        reports.append(report)
+
+    if args.format_ == "json":
+        document = {
+            "reports": [report.as_dict() for report in reports],
+            "errors": sum(len(report.errors) for report in reports),
+            "warnings": sum(len(report.warnings) for report in reports),
+        }
+        print(json.dumps(document, indent=1))
+    else:
+        print("\n".join(report.render_text() for report in reports))
+    return max(report.exit_code(strict=args.strict) for report in reports)
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -383,6 +469,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "check": _cmd_check,
         "selfcheck": _cmd_selfcheck,
+        "lint": _cmd_lint,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
     }

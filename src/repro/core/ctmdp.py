@@ -25,6 +25,7 @@ Concretely:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -80,8 +81,10 @@ class CTMDP:
             raise ModelError(f"initial state {initial} out of range")
         if state_names is not None and len(state_names) != num_states:
             raise ModelError("state_names length must match the number of states")
-        if rate_matrix.nnz and rate_matrix.data.min() <= 0.0:
-            raise ModelError("stored rates must be strictly positive")
+        if rate_matrix.nnz and not (
+            np.isfinite(rate_matrix.data).all() and rate_matrix.data.min() > 0.0
+        ):
+            raise ModelError("stored rates must be strictly positive and finite")
 
         self.num_states = num_states
         self.sources = sources.astype(np.int64)
@@ -129,8 +132,10 @@ class CTMDP:
             for dst, rate in rates.items():
                 if not 0 <= dst < num_states:
                     raise ModelError(f"transition target {dst} out of range")
-                if rate <= 0.0:
-                    raise ModelError(f"rates must be positive, got {rate} on ({src}, {action})")
+                if not (math.isfinite(rate) and rate > 0.0):
+                    raise ModelError(
+                        f"rates must be positive and finite, got {rate} on ({src}, {action})"
+                    )
                 rows.append(row)
                 cols.append(dst)
                 data.append(float(rate))

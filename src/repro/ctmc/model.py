@@ -15,8 +15,9 @@ meaningful -- they are exactly what Jensen's uniformization introduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -31,6 +32,8 @@ def _as_csr(matrix: sp.spmatrix | np.ndarray, n: int) -> sp.csr_matrix:
     csr = sp.csr_matrix(matrix, dtype=np.float64)
     if csr.shape != (n, n):
         raise ModelError(f"rate matrix must be {n}x{n}, got {csr.shape}")
+    if csr.nnz and not np.isfinite(csr.data).all():
+        raise ModelError("rates must be finite")
     if csr.nnz and csr.data.min() < 0.0:
         raise ModelError("rates must be non-negative")
     csr.eliminate_zeros()
@@ -86,8 +89,11 @@ class CTMC:
         """
         rows, cols, data = [], [], []
         for src, dst, rate in transitions:
-            if rate < 0.0:
-                raise ModelError(f"negative rate {rate} on transition {src} -> {dst}")
+            if not math.isfinite(rate) or rate < 0.0:
+                raise ModelError(
+                    f"rate {rate} on transition {src} -> {dst} is not a "
+                    "non-negative finite number"
+                )
             if not (0 <= src < num_states and 0 <= dst < num_states):
                 raise ModelError(f"transition {src} -> {dst} out of range")
             if rate > 0.0:

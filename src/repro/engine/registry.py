@@ -37,6 +37,7 @@ from repro.engine.keys import canonical_json, model_key, normalize_spec
 from repro.engine.metrics import EngineMetrics
 from repro.errors import ModelError
 from repro.io.tra import read_ctmc_tra, read_ctmdp_tra, write_ctmc_tra, write_ctmdp_tra
+from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.models import ftwc, ftwc_direct
 
 __all__ = ["BuiltModel", "ModelRegistry", "default_cache_dir", "describe_spec"]
@@ -122,7 +123,14 @@ class ModelRegistry:
     # Lookup
     # ------------------------------------------------------------------
     def get(self, spec: Mapping[str, Any]) -> BuiltModel:
-        """Resolve ``spec``: memory, then disk, then an actual build."""
+        """Resolve ``spec``: memory, then disk, then an actual build.
+
+        With sanitization enabled (``REPRO_SANITIZE=1`` or the
+        :func:`repro.lint.sanitizing` context manager), every entry
+        crossing the registry boundary is re-linted; error findings
+        raise :class:`~repro.errors.LintError`.  Memory hits are exempt
+        -- they were checked when they entered the store.
+        """
         normalized = normalize_spec(spec)
         key = model_key(normalized)
         cached = self._memory.get(key)
@@ -133,13 +141,27 @@ class ModelRegistry:
         loaded = self._load_from_disk(key)
         if loaded is not None:
             self.metrics.count("cache_hits_disk")
+            self._sanitize(loaded)
             self._memory[key] = loaded
             return loaded
         self.metrics.count("cache_misses")
         built = self._build(key, normalized)
+        self._sanitize(built)
         self._memory[key] = built
         self._store_to_disk(built)
         return built
+
+    def _sanitize(self, built: BuiltModel) -> None:
+        """Opt-in lint gate for models entering the registry."""
+        if not sanitize_enabled():
+            return
+        with self.metrics.timer("sanitize_seconds"):
+            sanitize_model(
+                built.model,
+                goal=built.goal_mask,
+                where=f"registry:{built.source}",
+            )
+        self.metrics.count("sanitize_checks")
 
     def __contains__(self, spec: Mapping[str, Any]) -> bool:
         return model_key(spec) in self._memory

@@ -31,6 +31,7 @@ from repro.ctmc.reachability import PreparedCTMCReachability
 from repro.engine.metrics import EngineMetrics
 from repro.engine.plan import Query, QueryGroup, plan_queries, query_from_dict
 from repro.engine.registry import BuiltModel, ModelRegistry
+from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.numerics.foxglynn import poisson_right_truncation
 
 __all__ = [
@@ -164,6 +165,10 @@ def _solve_group(
         return _error_results(group, f"model build failed: {exc}")
     try:
         goal = built.goal(group.goal)
+        if sanitize_enabled():
+            with metrics.timer("sanitize_seconds"):
+                sanitize_model(built.model, goal=goal, where="solver-prepare")
+            metrics.count("sanitize_checks")
         with metrics.timer("prepare_seconds"):
             if built.kind == "ctmdp":
                 prepared: PreparedTimedReachability | PreparedCTMCReachability = (

@@ -12,6 +12,7 @@ __all__ = [
     "ReproError",
     "ModelError",
     "NonUniformError",
+    "LintError",
     "TransformationError",
     "NumericalError",
     "CompositionError",
@@ -38,6 +39,15 @@ class NonUniformError(ModelError):
     The timed-reachability algorithm of Baier et al. (Algorithm 1 in the
     paper) is only correct for uniform CTMDPs; this error signals that the
     precondition was violated rather than silently producing wrong numbers.
+    """
+
+
+class LintError(ModelError):
+    """A model failed static analysis at a sanitizer boundary.
+
+    Raised by :func:`repro.lint.sanitize_model` when a model crossing a
+    trust boundary (engine-registry resolution, solver preparation)
+    carries error-level diagnostics.  The message lists the findings.
     """
 
 

@@ -1,190 +1,26 @@
-"""Model linting: diagnose an IMC before transformation and analysis.
+"""Backwards-compatible facade over :mod:`repro.lint`.
 
-The transformation pipeline rejects bad models with exceptions at the
-point of failure; this linter instead collects *all* problems (and
-warnings) of a model in one pass, with state names attached -- the kind
-of diagnostics one wants while building a new model:
+This module used to host the IMC linter with its own ``Finding`` type
+and slug codes (``zeno-cycle``, ``deadlock``, ``non-uniform``,
+``visible-actions``, ``unreachable``).  The linter now lives in
+:mod:`repro.lint.analyzers` as part of the unified diagnostic framework,
+emitting :class:`~repro.lint.diagnostics.Diagnostic` records with stable
+codes (``A001``, ``A002``, ``U001``, ``S003``, ``S001`` respectively --
+the full mapping is documented in :mod:`repro.lint.analyzers`).
 
-* Zeno cycles (interactive cycles, fatal under the closed view),
-* interactive deadlocks reachable through Markov transitions (fatal),
-* non-uniformity with the offending states and rates (fatal for
-  Algorithm 1),
-* remaining visible actions in a model about to be closed (warning:
-  they will be treated as urgent),
-* unreachable states (warning: they are ignored but usually indicate a
-  modelling slip).
+Existing callers keep working: ``lint_imc`` is re-exported, ``Finding``
+is an alias of ``Diagnostic`` (same ``severity``/``code``/``message``/
+``states`` fields), and ``Severity`` is the shared enum.  New code
+should import from :mod:`repro.lint` directly.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
+from repro.lint.analyzers import lint_imc
+from repro.lint.diagnostics import Diagnostic, Severity
 
-from repro.imc.model import IMC, TAU, StateClass
+#: Backwards-compatible alias; historic callers pattern-matched on
+#: ``Finding(severity=..., code=..., message=..., states=...)``.
+Finding = Diagnostic
 
 __all__ = ["Severity", "Finding", "lint_imc"]
-
-
-class Severity(enum.Enum):
-    """How bad a finding is."""
-
-    ERROR = "error"  #: the transformation/analysis will fail or be unsound
-    WARNING = "warning"  #: suspicious but well-defined
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One diagnostic."""
-
-    severity: Severity
-    code: str
-    message: str
-    states: tuple[int, ...] = ()
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"[{self.severity.value}] {self.code}: {self.message}"
-
-
-def _interactive_cycle(imc: IMC, reachable: set[int]) -> tuple[int, ...] | None:
-    """Find a cycle of interactive transitions among reachable states."""
-    colour: dict[int, int] = {}
-    stack_trace: list[int] = []
-
-    def visit(state: int) -> tuple[int, ...] | None:
-        colour[state] = 1
-        stack_trace.append(state)
-        for _action, target in imc.interactive_successors(state):
-            if target not in reachable:
-                continue
-            mark = colour.get(target, 0)
-            if mark == 1:
-                cycle_start = stack_trace.index(target)
-                return tuple(stack_trace[cycle_start:])
-            if mark == 0:
-                found = visit(target)
-                if found is not None:
-                    return found
-        colour[state] = 2
-        stack_trace.pop()
-        return None
-
-    for state in reachable:
-        if colour.get(state, 0) == 0:
-            found = visit(state)
-            if found is not None:
-                return found
-    return None
-
-
-def lint_imc(imc: IMC, closed: bool = True) -> list[Finding]:
-    """Collect diagnostics for ``imc``.
-
-    Parameters
-    ----------
-    imc:
-        The model to check.
-    closed:
-        Analyse under the closed-system view (urgency); this is the view
-        of the transformation pipeline.
-
-    Returns
-    -------
-    list[Finding]
-        All findings, errors first.
-    """
-    findings: list[Finding] = []
-    reachable = set(imc.reachable_states(closed=closed))
-
-    # --- Zeno cycles. --------------------------------------------------
-    cycle = _interactive_cycle(imc, reachable)
-    if cycle is not None:
-        names = " -> ".join(imc.name_of(s) for s in cycle)
-        findings.append(
-            Finding(
-                severity=Severity.ERROR,
-                code="zeno-cycle",
-                message=f"interactive cycle ({names}): Zeno under urgency",
-                states=cycle,
-            )
-        )
-
-    # --- Absorbing states (interactive deadlocks). ----------------------
-    dead = tuple(
-        s
-        for s in sorted(reachable)
-        if imc.state_class(s) is StateClass.ABSORBING
-    )
-    if dead:
-        findings.append(
-            Finding(
-                severity=Severity.ERROR,
-                code="deadlock",
-                message=(
-                    f"{len(dead)} reachable state(s) without outgoing "
-                    "transitions; the transformation assumes none"
-                ),
-                states=dead,
-            )
-        )
-
-    # --- Uniformity. ----------------------------------------------------
-    stable_rates = {
-        s: imc.exit_rate(s)
-        for s in sorted(reachable)
-        if imc.is_stable(s)
-    }
-    if stable_rates:
-        rates = sorted(set(round(r, 9) for r in stable_rates.values()))
-        if len(rates) > 1:
-            offenders = tuple(
-                s for s, r in stable_rates.items() if round(r, 9) != rates[-1]
-            )
-            findings.append(
-                Finding(
-                    severity=Severity.ERROR,
-                    code="non-uniform",
-                    message=(
-                        f"stable exit rates span {rates[0]:g}..{rates[-1]:g}; "
-                        "Algorithm 1 requires a uniform model"
-                    ),
-                    states=offenders,
-                )
-            )
-
-    # --- Visible actions in a closed model. -----------------------------
-    if closed:
-        visible = sorted(
-            {
-                action
-                for s in reachable
-                for action, _t in imc.interactive_successors(s)
-                if action != TAU
-            }
-        )
-        if visible:
-            findings.append(
-                Finding(
-                    severity=Severity.WARNING,
-                    code="visible-actions",
-                    message=(
-                        f"visible actions remain ({', '.join(visible[:5])}"
-                        f"{', ...' if len(visible) > 5 else ''}); under the "
-                        "closed view they are urgent like tau"
-                    ),
-                )
-            )
-
-    # --- Unreachable states. ---------------------------------------------
-    unreachable = tuple(s for s in range(imc.num_states) if s not in reachable)
-    if unreachable:
-        findings.append(
-            Finding(
-                severity=Severity.WARNING,
-                code="unreachable",
-                message=f"{len(unreachable)} state(s) unreachable; they are ignored",
-                states=unreachable,
-            )
-        )
-
-    findings.sort(key=lambda f: (f.severity is not Severity.ERROR, f.code))
-    return findings

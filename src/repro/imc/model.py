@@ -21,6 +21,7 @@ without outgoing ``tau`` -- to share one exit rate ``E``.  LTSs are the
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -84,8 +85,8 @@ class IMC:
         for src, rate, dst in self.markov:
             if not (0 <= src < self.num_states and 0 <= dst < self.num_states):
                 raise ModelError(f"Markov transition ({src}, {rate}, {dst}) out of range")
-            if rate <= 0.0:
-                raise ModelError(f"Markov rates must be positive, got {rate}")
+            if not (math.isfinite(rate) and rate > 0.0):
+                raise ModelError(f"Markov rates must be positive and finite, got {rate}")
         self._inter_by_src: list[list[tuple[str, int]]] | None = None
         self._markov_by_src: list[list[tuple[float, int]]] | None = None
 

@@ -11,8 +11,10 @@ these files is covered by the test suite.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TextIO
 
 import numpy as np
 
@@ -21,6 +23,8 @@ from repro.ctmc.model import CTMC
 from repro.errors import ModelError
 
 __all__ = [
+    "TraScan",
+    "scan_tra",
     "write_ctmc_tra",
     "read_ctmc_tra",
     "write_ctmdp_tra",
@@ -28,6 +32,125 @@ __all__ = [
     "write_labels",
     "read_labels",
 ]
+
+
+@dataclass(frozen=True)
+class TraScan:
+    """The raw content of a ``.tra`` file, before any validation.
+
+    The scanner is deliberately lenient about *values* (NaN, infinite or
+    negative rates and out-of-range indices are recorded, not rejected)
+    while strict about *shape* (headers and per-line field counts must
+    parse).  The strict readers and the linter both build on this: the
+    readers validate and refuse, the linter diagnoses.
+
+    Attributes
+    ----------
+    kind:
+        ``"ctmc"`` (``TRANSITIONS`` header) or ``"ctmdp"`` (``CHOICES``).
+    num_states:
+        Declared state count.
+    declared:
+        Declared transition (CTMC) or choice (CTMDP) count.
+    initial:
+        Declared initial state (CTMDPs; ``0`` for CTMCs), 0-based.
+    ctmc_entries:
+        CTMC lines as ``(source, target, rate)``, 0-based.
+    ctmdp_entries:
+        CTMDP lines as ``(row, action, source, target, rate)``, 0-based.
+    """
+
+    kind: str
+    num_states: int
+    declared: int
+    initial: int = 0
+    ctmc_entries: list[tuple[int, int, float]] = field(default_factory=list)
+    ctmdp_entries: list[tuple[int, str, int, int, float]] = field(default_factory=list)
+
+
+def _parse_rate(token: str, line: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ModelError(f"unparseable rate {token!r} in line {line!r}") from None
+
+
+def _parse_index(token: str, line: str) -> int:
+    try:
+        return int(token) - 1
+    except ValueError:
+        raise ModelError(f"unparseable state index {token!r} in line {line!r}") from None
+
+
+def scan_tra(path: str | Path) -> TraScan:
+    """Read a ``.tra`` file into raw records, sniffing CTMC vs CTMDP.
+
+    Raises
+    ------
+    ModelError
+        On malformed headers or lines (wrong field counts, unparseable
+        numbers).  Bad *values* are preserved for the caller to judge.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        num_states = _expect_header(handle, "STATES")
+        second = handle.readline().strip()
+        parts = second.split()
+        if len(parts) != 2 or parts[0] not in ("TRANSITIONS", "CHOICES"):
+            raise ModelError(
+                f"expected 'TRANSITIONS <n>' or 'CHOICES <n>' header, got {second!r}"
+            )
+        declared = int(parts[1])
+        if parts[0] == "TRANSITIONS":
+            ctmc_entries: list[tuple[int, int, float]] = []
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                fields = line.split()
+                if len(fields) != 3:
+                    raise ModelError(f"expected 'src dst rate', got {line!r}")
+                src, dst, rate = fields
+                ctmc_entries.append(
+                    (
+                        _parse_index(src, line),
+                        _parse_index(dst, line),
+                        _parse_rate(rate, line),
+                    )
+                )
+            return TraScan(
+                kind="ctmc",
+                num_states=num_states,
+                declared=declared,
+                ctmc_entries=ctmc_entries,
+            )
+        initial = _expect_header(handle, "INITIAL") - 1
+        ctmdp_entries: list[tuple[int, str, int, int, float]] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 5:
+                raise ModelError(
+                    f"expected 'row action src dst rate', got {line!r}"
+                )
+            row, action, src, dst, rate = fields
+            ctmdp_entries.append(
+                (
+                    _parse_index(row, line),
+                    action,
+                    _parse_index(src, line),
+                    _parse_index(dst, line),
+                    _parse_rate(rate, line),
+                )
+            )
+        return TraScan(
+            kind="ctmdp",
+            num_states=num_states,
+            declared=declared,
+            initial=initial,
+            ctmdp_entries=ctmdp_entries,
+        )
 
 
 def write_ctmc_tra(ctmc: CTMC, path: str | Path) -> None:
@@ -41,22 +164,27 @@ def write_ctmc_tra(ctmc: CTMC, path: str | Path) -> None:
 
 
 def read_ctmc_tra(path: str | Path, initial: int = 0) -> CTMC:
-    """Read a CTMC from ETMCC ``.tra`` format."""
-    with open(path, "r", encoding="ascii") as handle:
-        num_states = _expect_header(handle, "STATES")
-        num_transitions = _expect_header(handle, "TRANSITIONS")
-        transitions = []
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            src, dst, rate = line.split()
-            transitions.append((int(src) - 1, int(dst) - 1, float(rate)))
-    if len(transitions) != num_transitions:
+    """Read a CTMC from ETMCC ``.tra`` format.
+
+    The loader refuses exactly what the linter would flag as an error:
+    NaN, infinite, negative or zero rates and state indices outside the
+    declared range.
+    """
+    scan = scan_tra(path)
+    if scan.kind != "ctmc":
+        raise ModelError(f"{path} is a {scan.kind} file, expected a CTMC")
+    if len(scan.ctmc_entries) != scan.declared:
         raise ModelError(
-            f"header announced {num_transitions} transitions, found {len(transitions)}"
+            f"header announced {scan.declared} transitions, "
+            f"found {len(scan.ctmc_entries)}"
         )
-    return CTMC.from_transitions(num_states, transitions, initial=initial)
+    for src, dst, rate in scan.ctmc_entries:
+        if not (math.isfinite(rate) and rate > 0.0):
+            raise ModelError(
+                f"rate {rate!r} on transition {src + 1} -> {dst + 1} is not "
+                "a positive finite number"
+            )
+    return CTMC.from_transitions(scan.num_states, scan.ctmc_entries, initial=initial)
 
 
 def write_ctmdp_tra(ctmdp: CTMDP, path: str | Path) -> None:
@@ -75,26 +203,31 @@ def write_ctmdp_tra(ctmdp: CTMDP, path: str | Path) -> None:
 
 
 def read_ctmdp_tra(path: str | Path) -> CTMDP:
-    """Read a CTMDP written by :func:`write_ctmdp_tra`."""
-    with open(path, "r", encoding="ascii") as handle:
-        num_states = _expect_header(handle, "STATES")
-        num_choices = _expect_header(handle, "CHOICES")
-        initial = _expect_header(handle, "INITIAL") - 1
-        rows: dict[int, tuple[int, str, dict[int, float]]] = {}
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            row_str, action, src, dst, rate = line.split()
-            row = int(row_str) - 1
-            entry = rows.setdefault(row, (int(src) - 1, action, {}))
-            if entry[0] != int(src) - 1 or entry[1] != action:
-                raise ModelError(f"inconsistent transition metadata in row {row + 1}")
-            entry[2][int(dst) - 1] = float(rate)
-    if len(rows) != num_choices:
-        raise ModelError(f"header announced {num_choices} choices, found {len(rows)}")
+    """Read a CTMDP written by :func:`write_ctmdp_tra`.
+
+    Like :func:`read_ctmc_tra`, the loader refuses non-finite and
+    non-positive rates up front; range checks are enforced by the
+    :class:`~repro.core.ctmdp.CTMDP` constructor.
+    """
+    scan = scan_tra(path)
+    if scan.kind != "ctmdp":
+        raise ModelError(f"{path} is a {scan.kind} file, expected a CTMDP")
+    rows: dict[int, tuple[int, str, dict[int, float]]] = {}
+    for row, action, src, dst, rate in scan.ctmdp_entries:
+        if not (math.isfinite(rate) and rate > 0.0):
+            raise ModelError(
+                f"rate {rate!r} in row {row + 1} is not a positive finite number"
+            )
+        entry = rows.setdefault(row, (src, action, {}))
+        if entry[0] != src or entry[1] != action:
+            raise ModelError(f"inconsistent transition metadata in row {row + 1}")
+        entry[2][dst] = rate
+    if len(rows) != scan.declared:
+        raise ModelError(
+            f"header announced {scan.declared} choices, found {len(rows)}"
+        )
     transitions = [rows[row] for row in sorted(rows)]
-    return CTMDP.from_transitions(num_states, transitions, initial=initial)
+    return CTMDP.from_transitions(scan.num_states, transitions, initial=scan.initial)
 
 
 def write_labels(mask: np.ndarray, proposition: str, path: str | Path) -> None:

@@ -1,0 +1,143 @@
+"""Linting of on-disk model files (``.tra`` and ``.json``).
+
+The strict loaders in :mod:`repro.io` *refuse* pathological input; this
+module *diagnoses* it.  ``.tra`` files are scanned leniently (via
+:func:`repro.io.tra.scan_tra`) so NaN rates and dangling indices become
+``N002``/``S002`` diagnostics instead of a single exception, and only a
+file that scans clean of errors is then constructed and run through the
+full model analyzer.  ``.json`` model documents (whose schema already
+guarantees shape) are loaded and linted directly.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.errors import ModelError
+from repro.io.json_io import load_model
+from repro.io.tra import TraScan, read_ctmc_tra, read_ctmdp_tra, scan_tra
+from repro.lint.analyzers import lint_model
+from repro.lint.diagnostics import Diagnostic, LintReport, make_diagnostic
+
+__all__ = ["lint_path", "lint_tra_scan"]
+
+
+def lint_tra_scan(scan: TraScan) -> list[Diagnostic]:
+    """Value-level diagnostics over a raw ``.tra`` scan.
+
+    Emits ``N002`` for NaN/inf/non-positive rates, ``S002`` for state
+    indices outside the declared range and ``S005`` for header counts or
+    row metadata that contradict the body.
+    """
+    findings: list[Diagnostic] = []
+    n = scan.num_states
+
+    if scan.kind == "ctmc":
+        entries = [(src, dst, rate) for src, dst, rate in scan.ctmc_entries]
+        found = len(entries)
+        what = "transitions"
+    else:
+        entries = [(src, dst, rate) for _row, _a, src, dst, rate in scan.ctmdp_entries]
+        found = len({row for row, *_rest in scan.ctmdp_entries})
+        what = "choices"
+
+    if found != scan.declared:
+        findings.append(
+            make_diagnostic(
+                "S005",
+                f"header announced {scan.declared} {what}, found {found}",
+            )
+        )
+
+    bad_rate_sources = sorted(
+        {
+            src
+            for src, _dst, rate in entries
+            if not (math.isfinite(rate) and rate > 0.0)
+        }
+    )
+    if bad_rate_sources:
+        findings.append(
+            make_diagnostic(
+                "N002",
+                f"{len(bad_rate_sources)} state(s) carry NaN/inf/non-positive "
+                "rates",
+                states=[s for s in bad_rate_sources if 0 <= s < n],
+            )
+        )
+
+    dangling = sorted(
+        {
+            src
+            for src, dst, _rate in entries
+            if not (0 <= src < n and 0 <= dst < n)
+        }
+    )
+    if dangling:
+        findings.append(
+            make_diagnostic(
+                "S002",
+                f"transitions reference states outside 1..{n} (1-based)",
+                states=[s for s in dangling if 0 <= s < n],
+            )
+        )
+
+    if scan.kind == "ctmdp":
+        if not 0 <= scan.initial < n:
+            findings.append(
+                make_diagnostic(
+                    "S002",
+                    f"initial state {scan.initial + 1} outside 1..{n} (1-based)",
+                )
+            )
+        meta: dict[int, tuple[int, str]] = {}
+        inconsistent = []
+        for row, action, src, _dst, _rate in scan.ctmdp_entries:
+            previous = meta.setdefault(row, (src, action))
+            if previous != (src, action):
+                inconsistent.append(row)
+        if inconsistent:
+            findings.append(
+                make_diagnostic(
+                    "S005",
+                    f"{len(set(inconsistent))} transition row(s) carry "
+                    "inconsistent source/action metadata",
+                )
+            )
+    return findings
+
+
+def lint_path(path: str | Path, **options: bool) -> LintReport:
+    """Lint one model file; returns a report tagged with the file path.
+
+    Raises
+    ------
+    ModelError
+        When the file cannot be parsed at all (missing headers, wrong
+        field counts, unknown suffix) -- a usage error, not a finding.
+    OSError
+        When the file cannot be read.
+    """
+    path = Path(path)
+    if path.suffix == ".tra":
+        scan = scan_tra(path)
+        report = LintReport(target=str(path), kind=scan.kind)
+        report.extend(lint_tra_scan(scan))
+        if not report.has_errors:
+            model = (
+                read_ctmc_tra(path) if scan.kind == "ctmc" else read_ctmdp_tra(path)
+            )
+            report.extend(lint_model(model, **options))
+        return report
+    if path.suffix == ".json":
+        model = load_model(path)
+        report = LintReport(
+            target=str(path), kind=type(model).__name__.lower()
+        )
+        report.extend(lint_model(model, **options))
+        return report
+    raise ModelError(
+        f"cannot lint {path}: unknown suffix {path.suffix!r} "
+        "(expected .tra or .json)"
+    )

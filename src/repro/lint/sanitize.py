@@ -1,0 +1,97 @@
+"""Opt-in sanitizer hooks: re-lint models at trust boundaries.
+
+The engine cache (PR 1) round-trips models through disk, and the solver
+prepares matrices straight from whatever the registry hands it.  Both
+are *trust boundaries*: a corrupted cache entry, a hand-edited ``.tra``
+file or a buggy builder would flow into analysis silently.  With
+sanitizing enabled, the engine re-lints every model at
+
+* registry resolution (memory hit, disk load, fresh build), and
+* solver preparation (just before matrices are extracted),
+
+and refuses error-level findings by raising :class:`~repro.errors.LintError`.
+
+Sanitizing is off by default (it costs a full model pass per boundary).
+Enable it globally with ``REPRO_SANITIZE=1`` in the environment, or
+locally::
+
+    from repro.lint import sanitizing
+
+    with sanitizing():
+        engine.run(queries)   # every model crossing a boundary is linted
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.core.ctmdp import CTMDP
+from repro.ctmc.model import CTMC
+from repro.errors import LintError
+from repro.imc.model import IMC
+from repro.lint.analyzers import lint_model
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.mdp.model import DTMDP
+
+__all__ = ["sanitize_enabled", "sanitizing", "sanitize_model"]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Nesting depth of active ``sanitizing()`` context managers.
+_forced_depth = 0
+
+
+def sanitize_enabled() -> bool:
+    """True iff sanitizer hooks should run.
+
+    Either the ``REPRO_SANITIZE`` environment variable is set to a
+    truthy value (``1``/``true``/``yes``/``on``), or the calling thread
+    is inside a :func:`sanitizing` context.
+    """
+    if _forced_depth > 0:
+        return True
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def sanitizing(enabled: bool = True) -> Iterator[None]:
+    """Force sanitizer hooks on (or, with ``enabled=False``, leave them
+    to the environment) for the duration of the block."""
+    global _forced_depth
+    if not enabled:
+        yield
+        return
+    _forced_depth += 1
+    try:
+        yield
+    finally:
+        _forced_depth -= 1
+
+
+def sanitize_model(
+    model: Union[IMC, CTMC, CTMDP, DTMDP],
+    goal: "np.ndarray | None" = None,
+    where: str = "",
+    **options: bool,
+) -> list[Diagnostic]:
+    """Lint ``model`` and raise :class:`~repro.errors.LintError` on errors.
+
+    Returns the (possibly empty) list of warning-level findings when the
+    model passes.  ``where`` names the boundary for the error message
+    (e.g. ``"registry:disk"``, ``"solver-prepare"``).
+    """
+    findings = lint_model(model, goal=goal, location=where, **options)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors:
+        rendered = "; ".join(str(f) for f in errors[:5])
+        more = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        boundary = f" at {where}" if where else ""
+        raise LintError(
+            f"sanitizer rejected {type(model).__name__}{boundary}: "
+            f"{rendered}{more}"
+        )
+    return [f for f in findings if f.severity is not Severity.ERROR]

@@ -10,7 +10,8 @@ implementation the tests cross-check against.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import math
+from typing import Iterable, Mapping
 
 import numpy as np
 import scipy.sparse as sp
@@ -115,13 +116,14 @@ class DTMDP:
         rows, cols, data = [], [], []
         sources, actions = [], []
         for row, (src, action, dist) in enumerate(triples):
-            if abs(sum(dist.values()) - 1.0) > 1e-9:
+            mass = sum(dist.values())
+            if not math.isfinite(mass) or abs(mass - 1.0) > 1e-9:
                 raise ModelError(f"distribution of ({src}, {action}) does not sum to one")
             sources.append(src)
             actions.append(action)
             for dst, p in dist.items():
-                if p < 0.0:
-                    raise ModelError("probabilities must be non-negative")
+                if not math.isfinite(p) or p < 0.0:
+                    raise ModelError("probabilities must be non-negative and finite")
                 if p > 0.0:
                     rows.append(row)
                     cols.append(dst)

@@ -1,9 +1,13 @@
-"""Tests for the IMC linter."""
+"""Tests for the IMC linter (via the ``repro.imc.checks`` compat facade).
 
-import pytest
+The linter moved into :mod:`repro.lint.analyzers` and now emits stable
+codes instead of slugs; this suite covers the same scenarios under the
+new codes and pins the backwards-compatible re-exports.
+"""
 
-from repro.imc.checks import Severity, lint_imc
+from repro.imc.checks import Finding, Severity, lint_imc
 from repro.imc.model import IMC, TAU
+from repro.lint import Diagnostic
 from repro.models.ftwc import build_system_imc
 
 
@@ -13,6 +17,19 @@ def codes(findings, severity=None):
         for f in findings
         if severity is None or f.severity is severity
     }
+
+
+class TestCompatFacade:
+    def test_finding_is_diagnostic(self):
+        assert Finding is Diagnostic
+
+    def test_findings_carry_legacy_fields(self):
+        imc = IMC(num_states=1, interactive=[(0, TAU, 0)])
+        finding = lint_imc(imc)[0]
+        assert finding.severity is Severity.ERROR
+        assert isinstance(finding.code, str)
+        assert isinstance(finding.message, str)
+        assert isinstance(finding.states, tuple)
 
 
 class TestLint:
@@ -27,26 +44,26 @@ class TestLint:
             markov=[(2, 1.0, 0)],
         )
         findings = lint_imc(imc)
-        assert "zeno-cycle" in codes(findings, Severity.ERROR)
-        cycle = next(f for f in findings if f.code == "zeno-cycle")
+        assert "A001" in codes(findings, Severity.ERROR)
+        cycle = next(f for f in findings if f.code == "A001")
         assert set(cycle.states) == {0, 1}
 
     def test_tau_self_loop_is_zeno(self):
         imc = IMC(num_states=1, interactive=[(0, TAU, 0)])
-        assert "zeno-cycle" in codes(lint_imc(imc), Severity.ERROR)
+        assert "A001" in codes(lint_imc(imc), Severity.ERROR)
 
     def test_deadlock_detected(self):
         imc = IMC(num_states=2, markov=[(0, 1.0, 1)])
         findings = lint_imc(imc)
-        assert "deadlock" in codes(findings, Severity.ERROR)
-        dead = next(f for f in findings if f.code == "deadlock")
+        assert "A002" in codes(findings, Severity.ERROR)
+        dead = next(f for f in findings if f.code == "A002")
         assert dead.states == (1,)
 
     def test_non_uniformity_detected(self):
         imc = IMC(num_states=2, markov=[(0, 1.0, 1), (1, 5.0, 0)])
         findings = lint_imc(imc)
-        assert "non-uniform" in codes(findings, Severity.ERROR)
-        offender = next(f for f in findings if f.code == "non-uniform")
+        assert "U001" in codes(findings, Severity.ERROR)
+        offender = next(f for f in findings if f.code == "U001")
         assert offender.states == (0,)
 
     def test_unstable_states_not_flagged_non_uniform(self):
@@ -55,7 +72,7 @@ class TestLint:
             interactive=[(1, TAU, 0)],
             markov=[(0, 1.0, 1), (1, 99.0, 0)],
         )
-        assert "non-uniform" not in codes(lint_imc(imc))
+        assert "U001" not in codes(lint_imc(imc))
 
     def test_visible_actions_warned_in_closed_view(self):
         imc = IMC(
@@ -64,13 +81,13 @@ class TestLint:
             markov=[(1, 1.0, 0)],
         )
         findings = lint_imc(imc, closed=True)
-        assert "visible-actions" in codes(findings, Severity.WARNING)
-        assert "visible-actions" not in codes(lint_imc(imc, closed=False))
+        assert "S003" in codes(findings, Severity.WARNING)
+        assert "S003" not in codes(lint_imc(imc, closed=False))
 
     def test_unreachable_states_warned(self):
         imc = IMC(num_states=3, markov=[(0, 1.0, 0), (2, 1.0, 2)])
         findings = lint_imc(imc)
-        assert "unreachable" in codes(findings, Severity.WARNING)
+        assert "S001" in codes(findings, Severity.WARNING)
 
     def test_errors_sorted_first(self):
         imc = IMC(

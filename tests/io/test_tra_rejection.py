@@ -1,0 +1,123 @@
+"""The strict ``.tra`` readers refuse pathological input.
+
+Companion to the lenient :func:`repro.io.tra.scan_tra` scanner: the
+scanner records bad values for the linter to diagnose, the readers
+reject exactly those values so no NaN, infinite, non-positive rate or
+dangling state index ever enters a constructed model.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.io.tra import read_ctmc_tra, read_ctmdp_tra, scan_tra
+
+
+def ctmc_file(tmp_path, body, declared=None, states=2):
+    lines = body.strip().splitlines()
+    count = declared if declared is not None else len(lines)
+    path = tmp_path / "chain.tra"
+    path.write_text(
+        f"STATES {states}\nTRANSITIONS {count}\n" + "\n".join(lines) + "\n"
+    )
+    return path
+
+
+def ctmdp_file(tmp_path, body, declared=None, states=2, initial=1):
+    lines = body.strip().splitlines()
+    count = declared if declared is not None else len({l.split()[0] for l in lines})
+    path = tmp_path / "mdp.tra"
+    path.write_text(
+        f"STATES {states}\nCHOICES {count}\nINITIAL {initial}\n"
+        + "\n".join(lines)
+        + "\n"
+    )
+    return path
+
+
+class TestCtmcRejection:
+    @pytest.mark.parametrize("rate", ["nan", "inf", "-inf", "-1.0", "0.0"])
+    def test_pathological_rates_refused(self, tmp_path, rate):
+        path = ctmc_file(tmp_path, f"1 2 {rate}\n2 1 1.0")
+        with pytest.raises(ModelError, match="positive finite"):
+            read_ctmc_tra(path)
+
+    def test_dangling_target_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 3 1.0\n2 1 1.0")
+        with pytest.raises(ModelError, match="out of range"):
+            read_ctmc_tra(path)
+
+    def test_dangling_source_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "9 1 1.0\n2 1 1.0")
+        with pytest.raises(ModelError, match="out of range"):
+            read_ctmc_tra(path)
+
+    def test_count_mismatch_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 2 1.0", declared=5)
+        with pytest.raises(ModelError, match="announced 5"):
+            read_ctmc_tra(path)
+
+    def test_unparseable_rate_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 2 fast")
+        with pytest.raises(ModelError, match="unparseable rate"):
+            read_ctmc_tra(path)
+
+    def test_unparseable_index_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "one 2 1.0")
+        with pytest.raises(ModelError, match="unparseable state index"):
+            read_ctmc_tra(path)
+
+    def test_kind_mismatch_refused(self, tmp_path):
+        path = ctmdp_file(tmp_path, "1 a 1 2 1.0")
+        with pytest.raises(ModelError, match="expected a CTMC"):
+            read_ctmc_tra(path)
+
+
+class TestCtmdpRejection:
+    @pytest.mark.parametrize("rate", ["nan", "inf", "-2.5", "0.0"])
+    def test_pathological_rates_refused(self, tmp_path, rate):
+        path = ctmdp_file(tmp_path, f"1 a 1 2 {rate}")
+        with pytest.raises(ModelError, match="positive finite"):
+            read_ctmdp_tra(path)
+
+    def test_dangling_target_refused(self, tmp_path):
+        path = ctmdp_file(tmp_path, "1 a 1 7 1.0\n2 a 2 1 1.0")
+        with pytest.raises(ModelError):
+            read_ctmdp_tra(path)
+
+    def test_inconsistent_row_metadata_refused(self, tmp_path):
+        path = ctmdp_file(tmp_path, "1 a 1 2 1.0\n1 b 1 1 1.0")
+        with pytest.raises(ModelError, match="inconsistent"):
+            read_ctmdp_tra(path)
+
+    def test_count_mismatch_refused(self, tmp_path):
+        path = ctmdp_file(tmp_path, "1 a 1 2 1.0", declared=3)
+        with pytest.raises(ModelError, match="announced 3"):
+            read_ctmdp_tra(path)
+
+    def test_kind_mismatch_refused(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 2 1.0")
+        with pytest.raises(ModelError, match="expected a CTMDP"):
+            read_ctmdp_tra(path)
+
+
+class TestScannerLeniency:
+    """scan_tra preserves bad values instead of rejecting them."""
+
+    def test_nan_rate_preserved(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 2 nan")
+        scan = scan_tra(path)
+        assert scan.kind == "ctmc"
+        assert math.isnan(scan.ctmc_entries[0][2])
+
+    def test_dangling_index_preserved(self, tmp_path):
+        path = ctmc_file(tmp_path, "1 9 1.0")
+        scan = scan_tra(path)
+        assert scan.ctmc_entries[0][1] == 8  # 0-based, out of range
+
+    def test_shape_errors_still_raise(self, tmp_path):
+        path = tmp_path / "bad.tra"
+        path.write_text("STATES 2\nTRANSITIONS 1\n1 2\n")
+        with pytest.raises(ModelError, match="expected 'src dst rate'"):
+            scan_tra(path)

@@ -1,0 +1,116 @@
+"""Tests for linting on-disk model files, including the defect fixtures.
+
+The committed fixtures under ``tests/fixtures/`` are the PR's acceptance
+artefacts: each one carries exactly one planted defect, and the linter
+must name it with the expected stable code in both output formats.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ModelError
+from repro.io.tra import write_ctmc_tra, write_ctmdp_tra
+from repro.lint import lint_path
+from repro.models.ftwc_direct import build_ctmc, build_ctmdp
+
+FIXTURES = Path(__file__).parent.parent / "fixtures"
+
+
+class TestDefectFixtures:
+    def test_nan_rate_tra_yields_n002(self):
+        report = lint_path(FIXTURES / "defect_nan_rate.tra")
+        assert report.kind == "ctmc"
+        assert "N002" in report.codes()
+        assert report.has_errors
+        assert report.exit_code() == 1
+
+    def test_nonuniform_tra_yields_u001(self):
+        report = lint_path(FIXTURES / "defect_nonuniform.tra")
+        assert report.kind == "ctmdp"
+        assert "U001" in report.codes()
+        assert report.has_errors
+
+    def test_dangling_index_tra_yields_s002(self):
+        report = lint_path(FIXTURES / "defect_dangling.tra")
+        assert "S002" in report.codes()
+        assert report.has_errors
+
+    def test_zeno_json_yields_a001(self):
+        report = lint_path(FIXTURES / "defect_zeno.json")
+        assert report.kind == "imc"
+        assert "A001" in report.codes()
+        assert report.has_errors
+
+    @pytest.mark.parametrize(
+        "fixture, code",
+        [
+            ("defect_nan_rate.tra", "N002"),
+            ("defect_nonuniform.tra", "U001"),
+            ("defect_zeno.json", "A001"),
+        ],
+    )
+    def test_codes_appear_in_both_renderings(self, fixture, code):
+        report = lint_path(FIXTURES / fixture)
+        assert code in report.render_text()
+        document = json.loads(report.render_json())
+        assert code in {d["code"] for d in document["diagnostics"]}
+
+
+class TestCleanFiles:
+    def test_clean_ctmc_tra(self, tmp_path):
+        chain, _configs, _goal = build_ctmc(1)
+        path = tmp_path / "clean.tra"
+        write_ctmc_tra(chain, path)
+        report = lint_path(path)
+        assert not report.has_errors
+
+    def test_clean_ctmdp_tra(self, tmp_path):
+        built = build_ctmdp(1)
+        path = tmp_path / "clean.tra"
+        write_ctmdp_tra(built.ctmdp, path)
+        report = lint_path(path)
+        assert not report.has_errors
+
+
+class TestUsageErrors:
+    def test_unknown_suffix(self, tmp_path):
+        path = tmp_path / "model.xyz"
+        path.write_text("whatever")
+        with pytest.raises(ModelError, match="unknown suffix"):
+            lint_path(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            lint_path(tmp_path / "absent.tra")
+
+    def test_malformed_header_is_usage_error(self, tmp_path):
+        path = tmp_path / "bad.tra"
+        path.write_text("NOT-A-HEADER 3\n")
+        with pytest.raises(ModelError):
+            lint_path(path)
+
+
+class TestScanDiagnostics:
+    def test_declared_count_mismatch_is_s005(self, tmp_path):
+        path = tmp_path / "short.tra"
+        path.write_text("STATES 2\nTRANSITIONS 5\n1 2 1.0\n")
+        report = lint_path(path)
+        assert "S005" in report.codes()
+
+    def test_inconsistent_row_metadata_is_s005(self, tmp_path):
+        path = tmp_path / "rows.tra"
+        path.write_text(
+            "STATES 2\nCHOICES 1\nINITIAL 1\n"
+            "1 a 1 2 1.0\n"
+            "1 b 1 1 1.0\n"
+        )
+        report = lint_path(path)
+        assert "S005" in report.codes()
+
+    def test_out_of_range_initial_is_s002(self, tmp_path):
+        path = tmp_path / "init.tra"
+        path.write_text("STATES 2\nCHOICES 1\nINITIAL 9\n1 a 1 2 1.0\n")
+        report = lint_path(path)
+        assert "S002" in report.codes()

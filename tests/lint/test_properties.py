@@ -1,0 +1,102 @@
+"""Property-based tests: linters are total, clean models stay clean.
+
+Two families of properties:
+
+* **Robustness** -- on arbitrary random models the analyzers never
+  crash, return registered codes only, and keep their output
+  deterministic.
+* **Soundness on well-formed input** -- models built by the
+  constructors carry no numeric or structural error findings, and
+  closed uniform non-Zeno IMCs both lint free of fatal findings and
+  survive the full transformation pipeline, whose output lints clean
+  again.
+"""
+
+from hypothesis import given, settings
+
+from repro.errors import ReproError
+from repro.imc.transform import imc_to_ctmdp
+from repro.lint import (
+    CODES,
+    Diagnostic,
+    Severity,
+    lint_ctmdp,
+    lint_imc,
+    lint_model,
+    lint_pipeline,
+    lint_strict_alternation,
+)
+
+from tests.conftest import (
+    random_closed_uniform_imcs,
+    random_imcs,
+    random_uniform_imcs,
+)
+
+FATAL = {"A001", "A002", "U001", "N002", "S002"}
+
+
+class TestRobustness:
+    @given(imc=random_imcs())
+    @settings(max_examples=60, deadline=None)
+    def test_lint_imc_never_crashes(self, imc):
+        findings = lint_imc(imc)
+        assert all(isinstance(f, Diagnostic) for f in findings)
+        assert all(f.code in CODES for f in findings)
+
+    @given(imc=random_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_lint_model_dispatch_never_crashes(self, imc):
+        findings = lint_model(imc)
+        assert all(f.code in CODES for f in findings)
+
+    @given(imc=random_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_lint_is_deterministic(self, imc):
+        assert lint_imc(imc) == lint_imc(imc)
+
+    @given(imc=random_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_states_are_in_range(self, imc):
+        for finding in lint_imc(imc):
+            assert all(0 <= s < imc.num_states for s in finding.states)
+
+
+class TestWellFormedModels:
+    @given(imc=random_uniform_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_imcs_never_flag_uniformity(self, imc):
+        codes = {f.code for f in lint_imc(imc, closed=False)}
+        assert "U001" not in codes
+        assert "N002" not in codes
+        assert "S002" not in codes
+
+    @given(imc=random_closed_uniform_imcs())
+    @settings(max_examples=40, deadline=None)
+    def test_closed_uniform_imcs_lint_free_of_fatal_findings(self, imc):
+        codes = {f.code for f in lint_imc(imc, closed=True)}
+        assert codes & FATAL == set()
+
+    @given(imc=random_closed_uniform_imcs())
+    @settings(max_examples=25, deadline=None)
+    def test_transform_pipeline_output_lints_clean(self, imc):
+        try:
+            result = imc_to_ctmdp(imc)
+        except ReproError:
+            # The transform may reject for its own reasons (e.g. word
+            # blow-up limits); the property only covers what it accepts.
+            return
+        assert lint_strict_alternation(result.alternation.imc) == []
+        errors = [
+            f
+            for f in lint_ctmdp(result.ctmdp)
+            if f.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    @given(imc=random_closed_uniform_imcs(max_states=5))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_invariants_hold(self, imc):
+        findings = lint_pipeline(imc)
+        pipeline_errors = [f for f in findings if f.code.startswith("P")]
+        assert pipeline_errors == []

@@ -1,0 +1,124 @@
+"""Tests for the opt-in sanitizer hooks at engine trust boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.ctmdp import CTMDP
+from repro.engine.plan import Query
+from repro.engine.registry import ModelRegistry
+from repro.engine.solver import QueryEngine
+from repro.errors import LintError
+from repro.lint import sanitize_enabled, sanitize_model, sanitizing
+
+SPEC = {"family": "ftwc", "n": 1}
+
+
+def non_uniform_ctmdp() -> CTMDP:
+    return CTMDP.from_transitions(2, [(0, "a", {1: 1.0}), (1, "a", {0: 5.0})])
+
+
+class TestEnabling:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+
+    def test_environment_variable(self, monkeypatch):
+        for value in ("1", "true", "YES", "On"):
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+
+    def test_context_manager(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        with sanitizing():
+            assert sanitize_enabled()
+            with sanitizing():
+                assert sanitize_enabled()
+            assert sanitize_enabled()
+        assert not sanitize_enabled()
+
+    def test_context_manager_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        with sanitizing(enabled=False):
+            assert not sanitize_enabled()
+
+
+class TestSanitizeModel:
+    def test_clean_model_returns_warnings(self):
+        model = CTMDP.from_transitions(
+            2, [(0, "a", {1: 2.0}), (1, "a", {0: 2.0})]
+        )
+        assert sanitize_model(model) == []
+
+    def test_errors_raise_lint_error(self):
+        with pytest.raises(LintError, match="U001"):
+            sanitize_model(non_uniform_ctmdp(), where="unit-test")
+
+    def test_boundary_named_in_message(self):
+        with pytest.raises(LintError, match="unit-test"):
+            sanitize_model(non_uniform_ctmdp(), where="unit-test")
+
+
+class TestRegistryBoundary:
+    def test_build_is_sanitized(self):
+        registry = ModelRegistry()
+        with sanitizing():
+            built = registry.get(SPEC)
+        assert built.source == "build"
+        assert registry.metrics.counter("sanitize_checks") == 1
+
+    def test_memory_hits_are_exempt(self):
+        registry = ModelRegistry()
+        with sanitizing():
+            registry.get(SPEC)
+            registry.get(SPEC)
+        assert registry.metrics.counter("sanitize_checks") == 1
+
+    def test_disabled_costs_nothing(self):
+        registry = ModelRegistry()
+        registry.get(SPEC)
+        assert registry.metrics.counter("sanitize_checks") == 0
+
+    def test_tampered_disk_cache_is_refused(self, tmp_path):
+        cache = tmp_path / "cache"
+        ModelRegistry(cache_dir=cache).get(SPEC)
+        [tra_path] = cache.glob("*.tra")
+        # Corrupt one cached rate: still positive (the reader accepts it)
+        # but no longer uniform (the sanitizer must catch it).
+        lines = tra_path.read_text().splitlines()
+        first_data = next(
+            i for i, line in enumerate(lines) if len(line.split()) == 5
+        )
+        fields = lines[first_data].split()
+        fields[-1] = repr(float(fields[-1]) * 3.0)
+        lines[first_data] = " ".join(fields)
+        tra_path.write_text("\n".join(lines) + "\n")
+
+        fresh = ModelRegistry(cache_dir=cache)
+        with sanitizing():
+            with pytest.raises(LintError, match="registry:disk"):
+                fresh.get(SPEC)
+        # Without sanitizing, the tampered entry flows through silently.
+        assert ModelRegistry(cache_dir=cache).get(SPEC).source == "disk"
+
+
+class TestSolverBoundary:
+    def test_mutated_memory_model_yields_error_records(self):
+        engine = QueryEngine()
+        built = engine.model(SPEC)
+        built.model.rate_matrix.data[0] = np.nan
+        with sanitizing():
+            batch = engine.run([Query(model=SPEC, t=1.0)])
+        result = batch.results[0]
+        assert not result.ok
+        assert "sanitizer rejected" in result.error
+        assert "solver-prepare" in result.error
+
+    def test_clean_run_counts_both_boundaries(self):
+        engine = QueryEngine()
+        with sanitizing():
+            batch = engine.run([Query(model=SPEC, t=1.0)])
+        assert batch.results[0].ok
+        assert engine.metrics.counter("sanitize_checks") == 2

@@ -116,16 +116,95 @@ class TestCommands:
         assert code == 1
         assert "[False]" in capsys.readouterr().out
 
-    def test_check_on_ctmc(self, capsys):
+    def test_check_on_ctmc_quantitative_exits_3(self, capsys):
+        # Quantitative queries have no verdict; exit 3 keeps that
+        # distinguishable from "satisfied" (0) and "violated" (1).
         code = main(["check", 'S=? [ "premium" ]', "--n", "1", "--ctmc"])
-        assert code == 0
+        assert code == 3
         assert "S=?" in capsys.readouterr().out
+
+    def test_check_quantitative_probability_exits_3(self, capsys):
+        code = main(["check", 'Pmax=? [ F<=10 "no_premium" ]', "--n", "1"])
+        assert code == 3
+        assert "Pmax=?" in capsys.readouterr().out
 
     def test_selfcheck(self, capsys):
         assert main(["selfcheck"]) == 0
         out = capsys.readouterr().out
         assert "6/6 checks passed" in out
         assert "FAIL" not in out
+
+
+class TestLintCommand:
+    FIXTURES = Path(__file__).parent / "fixtures"
+
+    def test_no_target_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_builtin_ftwc_lints_clean(self, capsys):
+        assert main(["lint", "--model", "ftwc", "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_builtin_ftwc_json_has_zero_errors(self, capsys):
+        assert main(["lint", "--model", "ftwc", "-n", "1", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == 0
+        assert document["reports"][0]["kind"] == "ctmdp"
+
+    def test_compositional_runs_pipeline_pass(self, capsys):
+        assert main(["lint", "--model", "ftwc-compositional", "-n", "1"]) == 0
+        assert "pipeline" in capsys.readouterr().out
+
+    def test_defect_fixture_text_output(self, capsys):
+        path = str(self.FIXTURES / "defect_nonuniform.tra")
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "U001" in out
+        assert "error" in out
+
+    def test_defect_fixture_json_output(self, capsys):
+        path = str(self.FIXTURES / "defect_nan_rate.tra")
+        assert main(["lint", path, "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        found = {
+            d["code"]
+            for report in document["reports"]
+            for d in report["diagnostics"]
+        }
+        assert "N002" in found
+        assert document["errors"] >= 1
+
+    def test_zeno_json_fixture(self, capsys):
+        path = str(self.FIXTURES / "defect_zeno.json")
+        assert main(["lint", path]) == 1
+        assert "A001" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, capsys):
+        # The compositional pipeline carries an unreachable-states
+        # warning (S001) but no errors: strict flips 0 to 1.
+        argv = ["lint", "--model", "ftwc-compositional", "-n", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--strict"]) == 1
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.tra")]) == 2
+        assert "cannot lint" in capsys.readouterr().err
+
+    def test_unknown_suffix_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "model.bin"
+        path.write_text("junk")
+        assert main(["lint", str(path)]) == 2
+
+    def test_multiple_targets_aggregate(self, capsys):
+        clean = ["--model", "ftwc", "-n", "1"]
+        bad = str(self.FIXTURES / "defect_nonuniform.tra")
+        assert main(["lint", bad] + clean) == 1
+        out = capsys.readouterr().out
+        assert "U001" in out
+        assert "clean" in out
 
 
 class TestBatchCommand:
