@@ -1,0 +1,138 @@
+"""Overhead budget of the observability layer.
+
+The tracing instrumentation sits inside the hottest loop of the library
+(the backward iteration of Algorithm 1), so its *disabled* cost must be
+negligible.  This module measures an instrumented Table-1-sized solve
+(FTWC N=4, t=100 h: ~2000 states, ~300 sweeps) against a reference
+reimplementation of the pre-instrumentation loop running on the same
+prepared arrays, asserts the overhead stays within ~5%, and writes the
+measurements to ``BENCH_obs.json`` in the repository root -- the first
+datapoints of the benchmark ledger.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.reachability import PreparedTimedReachability
+from repro.core.segments import segment_reduce
+from repro.models.ftwc_direct import build_ctmdp
+from repro.numerics.foxglynn import fox_glynn
+from repro.obs import current_tracer, tracing
+
+N = 4
+T = 100.0
+EPSILON = 1e-6
+REPEATS = 5
+
+#: Multiplicative budget for the disabled-tracer overhead, plus a small
+#: absolute allowance for scheduler jitter on a CI box.
+RELATIVE_BUDGET = 1.05
+ABSOLUTE_SLACK = 2e-3
+
+
+def _reference_solve(prepared: PreparedTimedReachability, t: float) -> np.ndarray:
+    """The pre-instrumentation backward loop, byte-for-byte the same
+    arithmetic as ``PreparedTimedReachability.solve`` without any
+    tracing hooks -- the baseline the overhead is measured against."""
+    fg = fox_glynn(prepared.rate * t, EPSILON)
+    psi = fg.probabilities()
+    segments = prepared.segments
+    prob = prepared.prob
+    prob_to_goal = prepared.prob_to_goal
+    goal_idx = prepared.goal_idx
+    q = np.zeros(prepared.num_states)
+    for i in range(fg.right, 0, -1):
+        psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+        transition_values = psi_i * prob_to_goal + prob @ q
+        new_q = np.zeros(prepared.num_states)
+        new_q[segments.nonempty] = segment_reduce(transition_values, segments, "max")
+        new_q[goal_idx] = psi_i + q[goal_idx]
+        q = new_q
+    values = q.copy()
+    values[goal_idx] = 1.0
+    np.clip(values, 0.0, 1.0, out=values)
+    return values
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    """Minimum wall time over ``repeats`` runs (robust against noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    model = build_ctmdp(N)
+    return PreparedTimedReachability(model.ctmdp, model.goal_mask)
+
+
+def test_disabled_tracer_overhead_within_budget(prepared):
+    """The headline budget: with no tracer active, the instrumented
+    solve must stay within ~5% of the uninstrumented loop."""
+    assert current_tracer() is None
+
+    # Warm-up: JIT-free Python, but caches, allocator pools etc. settle.
+    _reference_solve(prepared, T)
+    prepared.solve(T, epsilon=EPSILON)
+
+    ref_seconds, ref_values = _best_of(lambda: _reference_solve(prepared, T))
+    solve_seconds, result = _best_of(lambda: prepared.solve(T, epsilon=EPSILON))
+
+    # Instrumentation must not change the arithmetic.
+    np.testing.assert_array_equal(result.values, ref_values)
+
+    budget = ref_seconds * RELATIVE_BUDGET + ABSOLUTE_SLACK
+    assert solve_seconds <= budget, (
+        f"instrumented solve {solve_seconds * 1e3:.2f} ms exceeds budget "
+        f"{budget * 1e3:.2f} ms (reference {ref_seconds * 1e3:.2f} ms)"
+    )
+
+    _record_datapoints(prepared, ref_seconds, solve_seconds, result.iterations)
+
+
+def test_enabled_tracer_still_usable(prepared):
+    """Tracing on: the per-step duration collection costs something,
+    but the solve must stay within a small factor -- profiling must not
+    distort the workload it measures beyond recognition."""
+    ref_seconds, _ = _best_of(lambda: _reference_solve(prepared, T), repeats=3)
+
+    def traced():
+        with tracing():
+            return prepared.solve(T, epsilon=EPSILON)
+
+    traced_seconds, _ = _best_of(traced, repeats=3)
+    assert traced_seconds <= ref_seconds * 2.0 + ABSOLUTE_SLACK
+
+
+def _record_datapoints(prepared, ref_seconds, solve_seconds, iterations):
+    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    document = {
+        "benchmark": "obs-overhead",
+        "workload": {
+            "family": "ftwc",
+            "n": N,
+            "t_hours": T,
+            "epsilon": EPSILON,
+            "states": prepared.num_states,
+            "transitions": prepared.ctmdp.num_transitions,
+            "iterations": int(iterations),
+        },
+        "reference_seconds": ref_seconds,
+        "instrumented_disabled_seconds": solve_seconds,
+        "overhead_ratio": solve_seconds / ref_seconds if ref_seconds > 0 else None,
+        "budget": {"relative": RELATIVE_BUDGET, "absolute_slack": ABSOLUTE_SLACK},
+        "repeats": REPEATS,
+        "timing": "min over repeats",
+    }
+    out.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")

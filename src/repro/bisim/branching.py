@@ -40,6 +40,7 @@ from scipy.sparse.csgraph import connected_components
 from repro.bisim.partition import Partition, refine_to_fixpoint
 from repro.bisim.quotient import quotient_imc
 from repro.imc.model import IMC, TAU
+from repro.obs import span
 
 __all__ = [
     "branching_bisimulation",
@@ -153,8 +154,12 @@ def branching_minimize(
     together with the partition for predicate mapping.  By Corollary 1
     the quotient is uniform iff the input is.
     """
-    partition = branching_bisimulation(imc, labels)
-    return quotient_imc(imc, partition, drop_inert_tau=True), partition
+    with span("bisim.minimize", states=imc.num_states) as sp:
+        partition = branching_bisimulation(imc, labels)
+        quotient = quotient_imc(imc, partition, drop_inert_tau=True)
+        if sp is not None:
+            sp.annotate(blocks=partition.num_blocks, quotient_states=quotient.num_states)
+    return quotient, partition
 
 
 def is_stochastic_branching_bisimulation(imc: IMC, partition: Partition) -> bool:

@@ -194,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(batch)
 
+    profile = sub.add_parser(
+        "profile",
+        help="run one traced query end-to-end and print a phase-attributed "
+        "breakdown (build, prepare, Fox-Glynn, backward iteration)",
+    )
+    profile.add_argument(
+        "family",
+        nargs="?",
+        choices=["ftwc", "ftwc-ctmc", "ftwc-compositional"],
+        default="ftwc",
+    )
+    profile.add_argument("--n", type=int, default=2, help="cluster size")
+    profile.add_argument("--t", type=float, default=100.0, help="time bound (hours)")
+    profile.add_argument("--epsilon", type=float, default=1e-6)
+    profile.add_argument("--objective", choices=["max", "min"], default="max")
+    profile.add_argument("--goal", default="no_premium")
+    profile.add_argument(
+        "--allocations",
+        action="store_true",
+        help="track net allocation deltas per span (tracemalloc; slower)",
+    )
+    profile.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write the raw span trace as JSONL to this path",
+    )
+    _add_cache_arguments(profile)
+
     serve = sub.add_parser(
         "serve",
         help="JSON-lines query server on stdin/stdout (one request per "
@@ -440,6 +468,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.obs.profile import profile_query
+
+    # Unlike batch/serve, profiling defaults to a memory-only registry so
+    # the breakdown includes the build phase; pass --cache-dir to profile
+    # the disk-load path instead.
+    cache_dir = None if args.no_disk_cache else args.cache_dir
+    try:
+        report = profile_query(
+            family=args.family,
+            n=args.n,
+            t=args.t,
+            epsilon=args.epsilon,
+            objective=args.objective,
+            goal=args.goal,
+            track_allocations=args.allocations,
+            cache_dir=cache_dir,
+        )
+    except (ReproError, RuntimeError) as exc:
+        print(f"profile failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.trace_out:
+        report.tracer.write_jsonl(args.trace_out)
+        print(f"wrote {args.trace_out} ({len(report.tracer.spans)} spans)", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import serve as engine_serve
 
@@ -471,6 +528,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "selfcheck": _cmd_selfcheck,
         "lint": _cmd_lint,
         "batch": _cmd_batch,
+        "profile": _cmd_profile,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -29,26 +29,37 @@ independently of the scheduler -- which is the reason the whole
 
 Implementation notes (cf. Section 4.2): the rate matrix is stored as a
 ``T x S`` sparse matrix with one row per transition; one backward step
-is a sparse matrix-vector product followed by a segmented maximum over
-each state's contiguous block of transition rows.
+is a sparse matrix-vector product followed by a segmented optimum over
+each state's contiguous block of transition rows (see
+:mod:`repro.core.segments` for the shared segment machinery, including
+the objective-aware tie handling of the scheduler extraction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.ctmdp import CTMDP
+from repro.core.segments import (
+    SegmentIndex,
+    segment_argbest,
+    segment_reduce,
+    validate_objective,
+)
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import FoxGlynn, fox_glynn
+from repro.obs import current_tracer, span, summarize_durations
 
 __all__ = [
     "ReachabilityResult",
     "PreparedTimedReachability",
     "timed_reachability",
     "unbounded_reachability",
+    "evaluate_step_scheduler",
 ]
 
 
@@ -63,7 +74,9 @@ class ReachabilityResult:
     iterations:
         Number of backward steps ``k`` (the paper's "# Iterations").
     uniform_rate:
-        The uniform rate ``E`` of the analysed model.
+        The uniform rate ``E`` of the analysed model, or ``0.0`` when
+        the analysis never needed it (``t = 0`` on an unprepared solver,
+        empty goal set).
     time_bound:
         The analysed time bound ``t``.
     objective:
@@ -133,15 +146,29 @@ class PreparedTimedReachability:
         self.goal_vec = self.mask.astype(np.float64)
         self.prob_to_goal = self.prob @ self.goal_vec  # Pr_R(s, B) per row
 
-        # Segment bookkeeping for the per-state maximisation: transitions
+        # Segment bookkeeping for the per-state optimisation: transitions
         # are sorted by source, so each state's rows are contiguous.
         # States without transitions keep value 0 (they cannot reach B).
-        counts = np.diff(ctmdp.choice_ptr)
-        self.nonempty = counts > 0
-        self.segment_starts = ctmdp.choice_ptr[:-1][self.nonempty]
-        self.repeat_counts = counts[self.nonempty]
+        self.segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
         self.goal_idx = np.flatnonzero(self.mask)
         self._ready = True
+
+    def _trivial_result(self, t: float, epsilon: float, objective: str) -> ReachabilityResult:
+        """The ``t = 0`` / empty-goal answer: the goal indicator itself.
+
+        Uniformity is irrelevant here (no time passes, or there is
+        nothing to reach), so the model's rate is *not* recomputed --
+        querying a trivially-zero property on a non-uniform model must
+        not raise.  The prepared rate is reported when available.
+        """
+        return ReachabilityResult(
+            values=self.mask.astype(np.float64),
+            iterations=0,
+            uniform_rate=self.rate if self._ready else 0.0,
+            time_bound=t,
+            objective=objective,
+            poisson=fox_glynn(0.0, min(epsilon, 0.5)),
+        )
 
     def solve(
         self,
@@ -151,23 +178,13 @@ class PreparedTimedReachability:
         record_scheduler: bool = False,
     ) -> ReachabilityResult:
         """Solve one time bound against the prepared model/goal pair."""
-        if objective not in ("max", "min"):
-            raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+        validate_objective(objective)
         if t < 0.0:
             raise ModelError("time bound must be non-negative")
         num_states = self.num_states
 
         if t == 0.0 or not self._ready:
-            values = self.mask.astype(np.float64)
-            dummy = fox_glynn(0.0, min(epsilon, 0.5))
-            return ReachabilityResult(
-                values=values,
-                iterations=0,
-                uniform_rate=self.ctmdp.uniform_rate() if self.ctmdp.num_transitions else 0.0,
-                time_bound=t,
-                objective=objective,
-                poisson=dummy,
-            )
+            return self._trivial_result(t, epsilon, objective)
 
         fg = fox_glynn(self.rate * t, epsilon)
         psi = fg.probabilities()
@@ -175,31 +192,48 @@ class PreparedTimedReachability:
 
         prob = self.prob
         prob_to_goal = self.prob_to_goal
-        nonempty = self.nonempty
-        segment_starts = self.segment_starts
+        segments = self.segments
+        nonempty = segments.nonempty
         goal_idx = self.goal_idx
-        reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
 
         decisions = None
         if record_scheduler:
             decisions = np.full((k, num_states), -1, dtype=np.int32)
 
-        q = np.zeros(num_states)
-        for i in range(k, 0, -1):
-            psi_i = psi[i - fg.left] if i >= fg.left else 0.0
-            transition_values = psi_i * prob_to_goal + prob @ q
-            best = reduce_fn(transition_values, segment_starts)
-            new_q = np.zeros(num_states)
-            new_q[nonempty] = best
-            new_q[goal_idx] = psi_i + q[goal_idx]
-            if decisions is not None:
-                # First transition attaining the optimum within each segment.
-                expanded = np.repeat(best, self.repeat_counts)
-                hits = np.flatnonzero(transition_values >= expanded - 1e-15)
-                firsts = np.searchsorted(hits, segment_starts, side="left")
-                chosen_rows = hits[firsts]
-                decisions[i - 1, nonempty] = (chosen_rows - segment_starts).astype(np.int32)
-            q = new_q
+        tracer = current_tracer()
+        step_seconds: list[float] | None = [] if tracer is not None else None
+
+        with span(
+            "reachability.sweep",
+            t=t,
+            objective=objective,
+            states=num_states,
+            transitions=self.ctmdp.num_transitions,
+            iterations=k,
+            lam=self.rate * t,
+        ) as sweep:
+            q = np.zeros(num_states)
+            for i in range(k, 0, -1):
+                if step_seconds is not None:
+                    step_started = perf_counter()
+                psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+                transition_values = psi_i * prob_to_goal + prob @ q
+                best = segment_reduce(transition_values, segments, objective)
+                new_q = np.zeros(num_states)
+                new_q[nonempty] = best
+                new_q[goal_idx] = psi_i + q[goal_idx]
+                if decisions is not None:
+                    # First transition attaining the optimum within each
+                    # segment, with the tie tolerance on the side that
+                    # matches the objective (cf. segment_argbest).
+                    decisions[i - 1, nonempty] = segment_argbest(
+                        transition_values, best, segments, objective
+                    ).astype(np.int32)
+                q = new_q
+                if step_seconds is not None:
+                    step_seconds.append(perf_counter() - step_started)
+            if sweep is not None and step_seconds is not None:
+                sweep.annotate(steps=summarize_durations(step_seconds))
 
         values = q.copy()
         values[goal_idx] = 1.0
@@ -231,7 +265,8 @@ def timed_reachability(
     ctmdp:
         The model; must be uniform (:class:`~repro.errors.NonUniformError`
         otherwise -- the greedy recursion is unsound on non-uniform
-        models).
+        models).  Trivially-answerable queries (empty goal set) are
+        exempt: uniformity is irrelevant to their answer.
     goal:
         Goal set ``B`` as indices or boolean mask over states.
     t:
@@ -255,6 +290,67 @@ def timed_reachability(
     )
 
 
+def evaluate_step_scheduler(
+    ctmdp: CTMDP,
+    goal: Iterable[int] | np.ndarray,
+    t: float,
+    decisions: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Exact per-state value of a recorded step scheduler.
+
+    Replays the Poisson-weighted backward recursion of Algorithm 1 with
+    the optimisation replaced by the *fixed* choices of ``decisions``
+    (the array a ``record_scheduler=True`` solve produces: row ``i - 1``
+    holds the per-state transition index used at backward step ``i``).
+    Steps beyond the recorded horizon reuse the last row and ``-1``
+    entries (states without a recorded choice) fall back to the first
+    transition, matching :class:`~repro.core.scheduler.StepScheduler`.
+
+    This is the analytic counterpart of simulating the scheduler: if
+    ``decisions`` came from an optimal solve with the same ``epsilon``,
+    the returned values must reproduce the optimal values -- the
+    regression anchor for the scheduler-extraction direction fix.
+    """
+    if t < 0.0:
+        raise ModelError("time bound must be non-negative")
+    prepared = PreparedTimedReachability(ctmdp, goal)
+    if t == 0.0 or not prepared._ready:
+        return prepared.mask.astype(np.float64)
+    decisions = np.asarray(decisions)
+    if decisions.ndim != 2 or decisions.shape[1] != ctmdp.num_states:
+        raise ModelError(
+            f"decisions must have shape (steps, {ctmdp.num_states}), got {decisions.shape}"
+        )
+    if len(decisions) == 0:
+        raise ModelError("decisions must record at least one step")
+
+    fg = fox_glynn(prepared.rate * t, epsilon)
+    psi = fg.probabilities()
+    segments = prepared.segments
+    nonempty_states = np.flatnonzero(segments.nonempty)
+    goal_idx = prepared.goal_idx
+    prob = prepared.prob
+    prob_to_goal = prepared.prob_to_goal
+
+    q = np.zeros(ctmdp.num_states)
+    for i in range(fg.right, 0, -1):
+        psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+        transition_values = psi_i * prob_to_goal + prob @ q
+        row = min(i - 1, len(decisions) - 1)
+        choice = np.clip(decisions[row][nonempty_states], 0, segments.counts - 1)
+        rows = segments.starts + choice
+        new_q = np.zeros(ctmdp.num_states)
+        new_q[segments.nonempty] = transition_values[rows]
+        new_q[goal_idx] = psi_i + q[goal_idx]
+        q = new_q
+
+    values = q.copy()
+    values[goal_idx] = 1.0
+    np.clip(values, 0.0, 1.0, out=values)
+    return values
+
+
 def unbounded_reachability(
     ctmdp: CTMDP,
     goal: Iterable[int] | np.ndarray,
@@ -269,23 +365,19 @@ def unbounded_reachability(
     DTMDP.  Used for sanity checks (timed probabilities must converge to
     these values as ``t`` grows) and as a general-purpose utility.
     """
-    if objective not in ("max", "min"):
-        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    validate_objective(objective)
     mask = _goal_mask(ctmdp, goal)
     if not mask.any():
         return np.zeros(ctmdp.num_states)
 
     prob = ctmdp.probability_matrix()
-    counts = np.diff(ctmdp.choice_ptr)
-    nonempty = counts > 0
-    segment_starts = ctmdp.choice_ptr[:-1][nonempty]
-    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+    segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
 
     q = mask.astype(np.float64)
     for _ in range(max_iterations):
         transition_values = prob @ q
         new_q = np.zeros(ctmdp.num_states)
-        new_q[nonempty] = reduce_fn(transition_values, segment_starts)
+        new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
         new_q[mask] = 1.0
         if np.max(np.abs(new_q - q)) < tol:
             return new_q

@@ -25,8 +25,10 @@ import numpy as np
 
 from repro.core.ctmdp import CTMDP
 from repro.core.reachability import ReachabilityResult, _goal_mask
+from repro.core.segments import SegmentIndex, segment_reduce, validate_objective
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import fox_glynn
+from repro.obs import span
 
 __all__ = ["timed_until"]
 
@@ -63,8 +65,7 @@ def timed_until(
         Per-state probabilities; goal states carry one, blocked states
         (neither safe nor goal) carry zero.
     """
-    if objective not in ("max", "min"):
-        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    validate_objective(objective)
     if t < 0.0:
         raise ModelError("time bound must be non-negative")
     goal_mask = _goal_mask(ctmdp, goal)
@@ -72,12 +73,17 @@ def timed_until(
     blocked = ~(safe_mask | goal_mask)
 
     if t == 0.0 or not goal_mask.any():
+        # Trivially answerable: no time passes or nothing to reach.  The
+        # answer does not depend on uniformity, so the rate is only
+        # reported when the model actually is uniform -- querying a
+        # degenerate property on a non-uniform model must not raise.
         values = goal_mask.astype(np.float64)
         dummy = fox_glynn(0.0, min(epsilon, 0.5))
+        has_rate = bool(ctmdp.num_transitions) and ctmdp.is_uniform()
         return ReachabilityResult(
             values=values,
             iterations=0,
-            uniform_rate=ctmdp.uniform_rate() if ctmdp.num_transitions else 0.0,
+            uniform_rate=ctmdp.uniform_rate() if has_rate else 0.0,
             time_bound=t,
             objective=objective,
             poisson=dummy,
@@ -91,22 +97,26 @@ def timed_until(
 
     prob = ctmdp.probability_matrix()
     prob_to_goal = prob @ goal_mask.astype(np.float64)
-
-    counts = np.diff(ctmdp.choice_ptr)
-    nonempty = counts > 0
-    segment_starts = ctmdp.choice_ptr[:-1][nonempty]
-    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+    segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
 
     goal_idx = np.flatnonzero(goal_mask)
-    q = np.zeros(ctmdp.num_states)
-    for i in range(fg.right, 0, -1):
-        psi_i = psi[i - fg.left] if i >= fg.left else 0.0
-        transition_values = psi_i * prob_to_goal + prob @ q
-        new_q = np.zeros(ctmdp.num_states)
-        new_q[nonempty] = reduce_fn(transition_values, segment_starts)
-        new_q[goal_idx] = psi_i + q[goal_idx]
-        new_q[blocked] = 0.0  # entering a non-safe state loses the game
-        q = new_q
+    with span(
+        "until.sweep",
+        t=t,
+        objective=objective,
+        states=ctmdp.num_states,
+        iterations=fg.right,
+        lam=rate * t,
+    ):
+        q = np.zeros(ctmdp.num_states)
+        for i in range(fg.right, 0, -1):
+            psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+            transition_values = psi_i * prob_to_goal + prob @ q
+            new_q = np.zeros(ctmdp.num_states)
+            new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
+            new_q[goal_idx] = psi_i + q[goal_idx]
+            new_q[blocked] = 0.0  # entering a non-safe state loses the game
+            q = new_q
 
     values = q.copy()
     values[goal_idx] = 1.0

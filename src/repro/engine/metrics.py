@@ -3,104 +3,22 @@
 Every registry and solver operation records what it did -- cache hits
 and misses, seconds spent building, loading, preparing and solving,
 Fox-Glynn computations and backward-iteration counts.  The collected
-metrics are surfaced on every batch result and are dumpable as JSON, so
-a service operator can watch hit rates and solve latencies without
-instrumenting anything herself.
+metrics are surfaced on every batch result, dumpable as JSON, and
+exposed in the Prometheus text format by ``repro serve`` (a literal
+``/metrics`` request line), so a service operator can watch hit rates
+and solve latencies without instrumenting anything herself.
 
-Counter and timer names used by the engine (see ``docs/engine.md``):
-
-=====================  =====================================================
-counter                meaning
-=====================  =====================================================
-``models_built``       models constructed from scratch (cache misses)
-``cache_hits_memory``  registry lookups answered from the in-memory store
-``cache_hits_disk``    registry lookups answered from the on-disk cache
-``cache_misses``       registry lookups that had to build
-``disk_writes``        models persisted to the on-disk cache
-``queries_total``      queries answered (including failed ones)
-``queries_failed``     queries that produced an error record
-``foxglynn``           Fox-Glynn truncation-point/weight computations
-``iterations``         total backward value-iteration steps
-=====================  =====================================================
-
-Timers (seconds, accumulated): ``build_seconds``, ``disk_load_seconds``,
-``disk_write_seconds``, ``prepare_seconds``, ``solve_seconds``.
+The mechanics live in :class:`repro.obs.MetricStore`; this module only
+keeps the engine's historical name for it.  The counter/timer name
+glossary lives in ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from contextlib import contextmanager
-from typing import Iterator, Mapping
+from repro.obs.metrics import MetricStore
 
 __all__ = ["EngineMetrics"]
 
 
-class EngineMetrics:
-    """A bag of named counters and accumulated wall-clock timers."""
-
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = {}
-        self.timers: dict[str, float] = {}
-
-    # ------------------------------------------------------------------
-    # Recording
-    # ------------------------------------------------------------------
-    def count(self, name: str, increment: int = 1) -> None:
-        """Increment the counter ``name`` (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + increment
-
-    def add_time(self, name: str, seconds: float) -> None:
-        """Accumulate ``seconds`` onto the timer ``name``."""
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
-
-    @contextmanager
-    def timer(self, name: str) -> Iterator[None]:
-        """Context manager timing its body into ``name``."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - started)
-
-    def merge(self, other: "EngineMetrics | Mapping") -> None:
-        """Fold another metrics object (or its ``as_dict`` form) into this one.
-
-        Used to aggregate the metrics of process-pool workers into the
-        parent's collector.
-        """
-        if isinstance(other, EngineMetrics):
-            counters, timers = other.counters, other.timers
-        else:
-            counters = other.get("counters", {})
-            timers = other.get("timers", {})
-        for name, value in counters.items():
-            self.count(name, int(value))
-        for name, value in timers.items():
-            self.add_time(name, float(value))
-
-    # ------------------------------------------------------------------
-    # Reading
-    # ------------------------------------------------------------------
-    def counter(self, name: str) -> int:
-        """Current value of counter ``name`` (zero if never incremented)."""
-        return self.counters.get(name, 0)
-
-    def seconds(self, name: str) -> float:
-        """Accumulated seconds of timer ``name`` (zero if never used)."""
-        return self.timers.get(name, 0.0)
-
-    def as_dict(self) -> dict:
-        """JSON-compatible snapshot ``{"counters": ..., "timers": ...}``."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "timers": {name: float(value) for name, value in sorted(self.timers.items())},
-        }
-
-    def dumps(self, indent: int | None = None) -> str:
-        """The snapshot serialised as a JSON string."""
-        return json.dumps(self.as_dict(), indent=indent)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"EngineMetrics(counters={self.counters}, timers={self.timers})"
+class EngineMetrics(MetricStore):
+    """The engine's counter/timer store (see ``docs/observability.md``)."""

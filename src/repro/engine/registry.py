@@ -39,6 +39,7 @@ from repro.errors import ModelError
 from repro.io.tra import read_ctmc_tra, read_ctmdp_tra, write_ctmc_tra, write_ctmdp_tra
 from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.models import ftwc, ftwc_direct
+from repro.obs import span
 
 __all__ = ["BuiltModel", "ModelRegistry", "default_cache_dir", "describe_spec"]
 
@@ -133,22 +134,29 @@ class ModelRegistry:
         """
         normalized = normalize_spec(spec)
         key = model_key(normalized)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.metrics.count("cache_hits_memory")
-            cached.source = "memory"
-            return cached
-        loaded = self._load_from_disk(key)
-        if loaded is not None:
-            self.metrics.count("cache_hits_disk")
-            self._sanitize(loaded)
-            self._memory[key] = loaded
-            return loaded
-        self.metrics.count("cache_misses")
-        built = self._build(key, normalized)
-        self._sanitize(built)
-        self._memory[key] = built
-        self._store_to_disk(built)
+        with span("registry.get", family=normalized.get("family"), n=normalized.get("n")) as sp:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.metrics.count("cache_hits_memory")
+                cached.source = "memory"
+                if sp is not None:
+                    sp.annotate(source="memory", key=key)
+                return cached
+            loaded = self._load_from_disk(key)
+            if loaded is not None:
+                self.metrics.count("cache_hits_disk")
+                self._sanitize(loaded)
+                self._memory[key] = loaded
+                if sp is not None:
+                    sp.annotate(source="disk", key=key)
+                return loaded
+            self.metrics.count("cache_misses")
+            built = self._build(key, normalized)
+            self._sanitize(built)
+            self._memory[key] = built
+            self._store_to_disk(built)
+            if sp is not None:
+                sp.annotate(source="build", key=key, states=built.model.num_states)
         return built
 
     def _sanitize(self, built: BuiltModel) -> None:
@@ -180,7 +188,8 @@ class ModelRegistry:
         family = spec["family"]
         params = ftwc_direct.FTWCParameters(n=spec["n"], **spec["params"])
         started = time.perf_counter()
-        with self.metrics.timer("build_seconds"):
+        build_span = span("registry.build", family=family, n=spec["n"])
+        with self.metrics.timer("build_seconds"), build_span:
             if family == "ftwc":
                 direct = ftwc_direct.build_ctmdp(
                     spec["n"], params, quality_threshold=spec["quality_threshold"]

@@ -14,11 +14,18 @@ treated as a single query):
 ``{"op": "batch", "queries": [...], "defaults": {...}}``
     Answer a batch; responds with ``{"results": [...], "metrics": ...}``.
 ``{"op": "metrics"}``
-    Snapshot of the session's engine metrics.
+    Snapshot of the session's engine metrics.  With
+    ``"format": "prometheus"`` the snapshot is returned as
+    ``{"text": ...}`` in the Prometheus exposition format.
 ``{"op": "ping"}``
     Liveness check; responds ``{"ok": true}``.
 ``{"op": "shutdown"}``
     Acknowledge and exit the loop.
+
+Additionally, the literal request line ``/metrics`` (no JSON) answers
+with the raw Prometheus text exposition -- it is self-terminating via
+its ``# EOF`` marker -- so a scraper bridged onto the stream needs no
+JSON handling at all.
 
 Malformed input never terminates the loop: the offending line yields an
 ``{"error": ...}`` response and the server reads on.
@@ -50,6 +57,8 @@ def _handle(engine: QueryEngine, request: Any) -> tuple[dict[str, Any], bool]:
     if op == "shutdown":
         return {"ok": True, "shutdown": True}, False
     if op == "metrics":
+        if request.get("format") == "prometheus":
+            return {"text": engine.metrics.prometheus()}, True
         return {"metrics": engine.metrics.as_dict()}, True
     if op == "batch":
         queries = request.get("queries")
@@ -82,6 +91,12 @@ def serve(
     for line in source:
         line = line.strip()
         if not line:
+            continue
+        if line == "/metrics":
+            # Raw Prometheus exposition; scrapers detect completeness by
+            # the trailing "# EOF" line, so no JSON framing is needed.
+            sink.write(engine.metrics.prometheus())
+            sink.flush()
             continue
         try:
             request = json.loads(line)

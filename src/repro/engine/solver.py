@@ -33,6 +33,7 @@ from repro.engine.plan import Query, QueryGroup, plan_queries, query_from_dict
 from repro.engine.registry import BuiltModel, ModelRegistry
 from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.numerics.foxglynn import poisson_right_truncation
+from repro.obs import span
 
 __all__ = [
     "QueryResult",
@@ -169,7 +170,9 @@ def _solve_group(
             with metrics.timer("sanitize_seconds"):
                 sanitize_model(built.model, goal=goal, where="solver-prepare")
             metrics.count("sanitize_checks")
-        with metrics.timer("prepare_seconds"):
+        with metrics.timer("prepare_seconds"), span(
+            "solver.prepare", kind=built.kind, states=built.model.num_states
+        ):
             if built.kind == "ctmdp":
                 prepared: PreparedTimedReachability | PreparedCTMCReachability = (
                     PreparedTimedReachability(built.model, goal)
@@ -184,7 +187,9 @@ def _solve_group(
     for index, query in group.members:
         started = time.perf_counter()
         try:
-            with _time_limit(timeout):
+            with _time_limit(timeout), span(
+                "solver.solve", t=query.t, objective=group.objective, kind=built.kind
+            ):
                 if built.kind == "ctmdp":
                     outcome = prepared.solve(query.t, query.epsilon, group.objective)
                     value = outcome.value(built.model.initial)

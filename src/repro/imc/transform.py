@@ -31,6 +31,7 @@ from repro.core.ctmdp import CTMDP
 from repro.errors import TransformationError
 from repro.imc.alternating import AlternationResult, strictly_alternating
 from repro.imc.model import IMC
+from repro.obs import span
 
 __all__ = ["TransformStatistics", "TransformResult", "imc_to_ctmdp"]
 
@@ -143,6 +144,19 @@ def imc_to_ctmdp(
     -------
     TransformResult
     """
+    with span("imc.transform", states=imc.num_states) as sp:
+        result = _imc_to_ctmdp(imc, max_words_per_state, require_uniform)
+        if sp is not None:
+            sp.annotate(
+                interactive_states=result.statistics.interactive_states,
+                markov_states=result.statistics.markov_states,
+            )
+    return result
+
+
+def _imc_to_ctmdp(
+    imc: IMC, max_words_per_state: int, require_uniform: bool
+) -> TransformResult:
     started = time.perf_counter()
     alternation = strictly_alternating(imc, max_words_per_state=max_words_per_state)
     alt = alternation.imc

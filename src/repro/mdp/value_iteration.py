@@ -2,7 +2,9 @@
 
 Step-bounded and unbounded reachability.  The step-bounded variant is
 the discrete skeleton of Algorithm 1: the continuous-time algorithm is
-this recursion with each step weighted by a Poisson probability.
+this recursion with each step weighted by a Poisson probability.  The
+per-state optimisation is the shared segmented reduction of
+:mod:`repro.core.segments`.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.segments import SegmentIndex, segment_reduce, validate_objective
 from repro.errors import ModelError
 from repro.mdp.model import DTMDP
 
@@ -28,12 +31,6 @@ def _mask(mdp: DTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
     return mask
 
 
-def _segments(mdp: DTMDP) -> tuple[np.ndarray, np.ndarray]:
-    counts = np.diff(mdp.choice_ptr)
-    nonempty = counts > 0
-    return nonempty, mdp.choice_ptr[:-1][nonempty]
-
-
 def bounded_reachability(
     mdp: DTMDP, goal: Iterable[int] | np.ndarray, steps: int, objective: str = "max"
 ) -> np.ndarray:
@@ -42,20 +39,17 @@ def bounded_reachability(
     States without actions are absorbing with value zero (unless they
     are goal states, which always carry value one).
     """
-    if objective not in ("max", "min"):
-        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    validate_objective(objective)
     if steps < 0:
         raise ModelError("step bound must be non-negative")
     mask = _mask(mdp, goal)
-    nonempty, starts = _segments(mdp)
-    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+    segments = SegmentIndex.from_choice_ptr(mdp.choice_ptr)
 
     q = mask.astype(np.float64)
     for _ in range(steps):
         values = mdp.probabilities @ q
         new_q = np.zeros(mdp.num_states)
-        if len(starts):
-            new_q[nonempty] = reduce_fn(values, starts)
+        new_q[segments.nonempty] = segment_reduce(values, segments, objective)
         new_q[mask] = 1.0
         q = new_q
     return q
@@ -69,18 +63,15 @@ def unbounded_reachability(
     max_iterations: int = 1_000_000,
 ) -> np.ndarray:
     """Optimal probability to ever reach ``goal`` (value iteration)."""
-    if objective not in ("max", "min"):
-        raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
+    validate_objective(objective)
     mask = _mask(mdp, goal)
-    nonempty, starts = _segments(mdp)
-    reduce_fn = np.maximum.reduceat if objective == "max" else np.minimum.reduceat
+    segments = SegmentIndex.from_choice_ptr(mdp.choice_ptr)
 
     q = mask.astype(np.float64)
     for _ in range(max_iterations):
         values = mdp.probabilities @ q
         new_q = np.zeros(mdp.num_states)
-        if len(starts):
-            new_q[nonempty] = reduce_fn(values, starts)
+        new_q[segments.nonempty] = segment_reduce(values, segments, objective)
         new_q[mask] = 1.0
         if np.max(np.abs(new_q - q)) < tol:
             return new_q

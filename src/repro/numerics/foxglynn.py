@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import NumericalError
+from repro.obs import span
 
 __all__ = ["FoxGlynn", "fox_glynn", "poisson_pmf", "poisson_right_truncation"]
 
@@ -44,6 +45,19 @@ _SEED_WEIGHT = 1.0e+280
 
 #: sqrt(2 pi), used by the normal-tail bounds of the finder.
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+#: Below this parameter the finder walks the pmf directly instead of
+#: using the normal-approximation corollaries, whose ``max(lam, 400)``
+#: evaluation point wildly over-covers small parameters.
+_SMALL_LAM = 400.0
+
+#: Safety factor applied to the admissible tail mass in the direct
+#: small-``lam`` finder.  The geometric bound is nearly sharp, so without
+#: slack the retained mass would sit exactly at ``1 - epsilon/2`` and
+#: downstream accumulated-error arguments (and the paper's "error below
+#: epsilon" claim) would have no margin.  The factor costs only a couple
+#: of extra indices per window.
+_TAIL_SAFETY = 1.0e-4
 
 
 @dataclass(frozen=True)
@@ -130,6 +144,39 @@ def _left_tail_k(lam: float, epsilon: float) -> float:
             raise NumericalError("Fox-Glynn left-tail search diverged")
 
 
+def _small_lambda_right(lam: float, epsilon: float) -> int:
+    """Direct right truncation point for ``lam < 400``.
+
+    Walks the pmf upward from the mode and stops at the first index
+    whose remaining tail is provably below the admissible mass: since
+    ``p(j+1)/p(j) = lam/(j+1) <= r := lam/(i+1)`` for all ``j >= i``,
+    the tail beyond ``i`` is bounded by the geometric sum
+
+        sum_{j > i} p(j)  <=  p(i) * r / (1 - r).
+
+    The bound avoids the cancellation trap of a ``1 - cdf`` walk (which
+    cannot resolve tails below ~1e-16) and is essentially sharp, unlike
+    the normal-approximation corollary evaluated at ``max(lam, 400)``
+    which inflates small-``lam`` windows by an order of magnitude.
+    """
+    target = (epsilon / 2.0) * _TAIL_SAFETY
+    mode = int(math.floor(lam))
+    # Walk the pmf up from 0; e^{-lam} is representable for lam < 400
+    # (e^{-400} ~ 1e-174) so the running pmf never underflows prematurely.
+    p = math.exp(-lam)
+    for i in range(1, mode + 1):
+        p *= lam / i
+    i = mode
+    while True:
+        ratio = lam / (i + 1.0)
+        if ratio < 1.0 and p * ratio / (1.0 - ratio) <= target:
+            return i
+        p *= ratio
+        i += 1
+        if i > mode + 10_000_000:  # pragma: no cover - defensive
+            raise NumericalError("Fox-Glynn small-lambda finder diverged")
+
+
 def fox_glynn(lam: float, epsilon: float = 1.0e-6) -> FoxGlynn:
     """Compute Poisson truncation points and weights for parameter ``lam``.
 
@@ -162,14 +209,24 @@ def fox_glynn(lam: float, epsilon: float = 1.0e-6) -> FoxGlynn:
         # Degenerate distribution: all mass at zero jumps.
         return FoxGlynn(lam=0.0, left=0, right=0, weights=np.array([1.0]), total_weight=1.0)
 
+    with span("foxglynn", lam=lam, epsilon=epsilon) as sp:
+        result = _fox_glynn(lam, epsilon)
+        if sp is not None:
+            sp.annotate(left=result.left, right=result.right, window=len(result))
+    return result
+
+
+def _fox_glynn(lam: float, epsilon: float) -> FoxGlynn:
     mode = int(math.floor(lam))
 
     # --- Finder: right truncation point. -------------------------------
-    # Fox-Glynn evaluate the right-tail bound at max(lam, 400); for small
-    # lam this is conservative but keeps the bound valid.
-    lam_right = max(lam, 400.0)
-    k_right = _right_tail_k(lam_right, epsilon)
-    right = int(math.ceil(mode + k_right * math.sqrt(2.0 * lam_right) + 1.5))
+    # Fox-Glynn evaluate the right-tail bound at max(lam, 400), which is
+    # wildly conservative below 400; there the direct pmf walk applies.
+    if lam < _SMALL_LAM:
+        right = _small_lambda_right(lam, epsilon)
+    else:
+        k_right = _right_tail_k(lam, epsilon)
+        right = int(math.ceil(mode + k_right * math.sqrt(2.0 * lam) + 1.5))
 
     # --- Finder: left truncation point. --------------------------------
     if lam < 25.0:
@@ -180,6 +237,15 @@ def fox_glynn(lam: float, epsilon: float = 1.0e-6) -> FoxGlynn:
         k_left = _left_tail_k(lam, epsilon)
         left = int(math.floor(mode - k_left * math.sqrt(lam) - 1.5))
         left = max(left, 0)
+
+    if lam < 25.0:
+        # Tiny parameters: evaluate the pmf directly.  With a total
+        # weight of one, each stored probability is pointwise exact (to
+        # machine precision) and the deficit of the window sum equals
+        # the truncated tail mass, well below epsilon.
+        indices = np.arange(left, right + 1)
+        weights = np.array([poisson_pmf(int(i), lam) for i in indices])
+        return FoxGlynn(lam=lam, left=left, right=right, weights=weights, total_weight=1.0)
 
     # --- Weighter: two-sided recurrence from the mode. ------------------
     size = right - left + 1

@@ -1,0 +1,42 @@
+"""``repro.obs``: span-based tracing, profiling and metric export.
+
+The observability layer the ROADMAP's "fast as the hardware allows"
+goal is measured against:
+
+* :mod:`repro.obs.tracer` -- nested spans (wall/CPU time, allocation
+  deltas) with a near-zero-cost disabled path; the pipeline's phase
+  boundaries are instrumented through :func:`span`;
+* :mod:`repro.obs.metrics` -- the counter/timer store the engine's
+  ``EngineMetrics`` is built on;
+* :mod:`repro.obs.export` -- JSONL trace export and the Prometheus
+  text exposition served by ``repro serve``;
+* :mod:`repro.obs.profile` -- ``repro profile``, a one-query run under
+  tracing rendered as a phase-attributed breakdown (imported lazily by
+  the CLI; not re-exported here to keep ``repro.obs`` import-light for
+  the hot path).
+
+See ``docs/observability.md`` for the span and metric glossary.
+"""
+
+from repro.obs.export import prometheus_exposition, read_jsonl
+from repro.obs.metrics import MetricStore
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    summarize_durations,
+    tracing,
+)
+
+__all__ = [
+    "MetricStore",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "prometheus_exposition",
+    "read_jsonl",
+    "span",
+    "summarize_durations",
+    "tracing",
+]

@@ -1,0 +1,67 @@
+"""Trace and metric export: JSONL span dumps, Prometheus exposition.
+
+Two consumers are served:
+
+* **trace tooling** -- :meth:`~repro.obs.tracer.Tracer.write_jsonl`
+  emits one span per line; :func:`read_jsonl` loads such a file back
+  into plain dictionaries for analysis scripts;
+* **scrapers** -- :func:`prometheus_exposition` renders a
+  :class:`~repro.obs.metrics.MetricStore` (counters and timers) in the
+  Prometheus/OpenMetrics text format, which ``repro serve`` answers on
+  a literal ``/metrics`` request line.
+
+Metric name mangling follows the Prometheus conventions: counters get
+a ``_total`` suffix, timers become ``<name>_seconds_total`` (the stored
+timer names already end in ``_seconds``), and every character outside
+``[a-zA-Z0-9_]`` is replaced by ``_``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.obs.metrics import MetricStore
+
+__all__ = ["prometheus_exposition", "read_jsonl"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return _NAME_RE.sub("_", prefix + name)
+
+
+def prometheus_exposition(metrics: MetricStore, prefix: str = "repro_") -> str:
+    """Render counters and timers in the Prometheus text format.
+
+    Counters are exposed as ``<prefix><name>_total`` with type
+    ``counter``; accumulated timers as ``<prefix><name>_seconds_total``
+    (both are monotonically increasing over a server's lifetime).  The
+    output terminates with the OpenMetrics ``# EOF`` marker so scrapers
+    can detect truncation.
+    """
+    lines: list[str] = []
+    for name, value in sorted(metrics.counters.items()):
+        metric = _metric_name(prefix, name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(metrics.timers.items()):
+        base = name[: -len("_seconds")] if name.endswith("_seconds") else name
+        metric = _metric_name(prefix, base) + "_seconds_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {float(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def read_jsonl(path: Any) -> list[dict[str, Any]]:
+    """Load a JSONL span trace back into a list of dictionaries."""
+    records = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

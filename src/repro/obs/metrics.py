@@ -1,0 +1,94 @@
+"""Counters and accumulated wall-clock timers.
+
+:class:`MetricStore` is the metric primitive the whole observability
+layer sits on: a bag of named monotonic counters and accumulated
+timers, mergeable across processes and serialisable as JSON or in the
+Prometheus text exposition format (see :mod:`repro.obs.export`).  The
+engine's :class:`~repro.engine.metrics.EngineMetrics` is this class
+under its historical name; the counter/timer glossary the engine uses
+lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+__all__ = ["MetricStore"]
+
+
+class MetricStore:
+    """A bag of named counters and accumulated wall-clock timers."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, increment: int = 1) -> None:
+        """Increment the counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` onto the timer ``name``."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def merge(self, other: "MetricStore | Mapping") -> None:
+        """Fold another store (or its ``as_dict`` form) into this one.
+
+        Used to aggregate the metrics of process-pool workers into the
+        parent's collector.
+        """
+        if isinstance(other, MetricStore):
+            counters, timers = other.counters, other.timers
+        else:
+            counters = other.get("counters", {})
+            timers = other.get("timers", {})
+        for name, value in counters.items():
+            self.count(name, int(value))
+        for name, value in timers.items():
+            self.add_time(name, float(value))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of timer ``name`` (zero if never used)."""
+        return self.timers.get(name, 0.0)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot ``{"counters": ..., "timers": ...}``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {name: float(value) for name, value in sorted(self.timers.items())},
+        }
+
+    def dumps(self, indent: int | None = None) -> str:
+        """The snapshot serialised as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def prometheus(self, prefix: str = "repro_") -> str:
+        """The store rendered in the Prometheus/OpenMetrics text format."""
+        from repro.obs.export import prometheus_exposition
+
+        return prometheus_exposition(self, prefix=prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(counters={self.counters}, timers={self.timers})"

@@ -1,0 +1,351 @@
+"""Span-based tracing with near-zero overhead when disabled.
+
+A :class:`Tracer` records a tree of *spans*: named, attributed sections
+of work with wall-clock time, CPU time and (optionally) allocation
+deltas.  The pipeline is instrumented at its phase boundaries --
+registry resolution, solver preparation, Fox-Glynn, the backward
+iteration of Algorithm 1, bisimulation minimisation, the uIMC-to-uCTMDP
+transformation -- via the module-level :func:`span` helper::
+
+    with span("registry.build", family="ftwc") as sp:
+        ...
+        if sp is not None:
+            sp.annotate(states=model.num_states)
+
+When no tracer is active (the default), :func:`span` returns a shared
+null context manager: the cost of an instrumented boundary is one
+global read and one ``None`` check, which keeps the hot path within the
+overhead budget enforced by ``benchmarks/test_bench_obs.py``.  A tracer
+is activated for a lexical scope with :func:`tracing`::
+
+    with tracing() as tracer:
+        timed_reachability(model, goal, 100.0)
+    tracer.render_tree()      # indented phase breakdown
+    tracer.write_jsonl(path)  # one span per line, for external tooling
+
+Per-*step* instrumentation inside the backward iteration does not
+create one span per step (the FTWC horizons reach tens of thousands of
+steps); instead the solver collects raw step durations only while a
+tracer is active and attaches a summary histogram to the sweep's span
+(see :func:`summarize_durations`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, ContextManager, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "tracing",
+    "current_tracer",
+    "span",
+    "summarize_durations",
+]
+
+
+@dataclass
+class Span:
+    """One recorded section of work.
+
+    Attributes
+    ----------
+    name:
+        Phase name, dot-qualified by subsystem (``"registry.build"``).
+    index:
+        Position in the tracer's span list (start order).
+    parent:
+        Index of the enclosing span, or ``None`` for roots.
+    depth:
+        Nesting depth (roots are 0).
+    attributes:
+        Free-form annotations (sizes, parameters, histograms).
+    started_at:
+        Wall-clock offset from the tracer's activation, in seconds.
+    wall_seconds / cpu_seconds:
+        Durations; CPU time is process-wide (``time.process_time``).
+    alloc_bytes:
+        Net allocation delta over the span when the tracer tracks
+        allocations, else ``None``.
+    """
+
+    name: str
+    index: int
+    parent: int | None
+    depth: int
+    attributes: dict[str, Any] = field(default_factory=dict)
+    started_at: float = 0.0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    alloc_bytes: int | None = None
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-compatible record (the shape of one JSONL line)."""
+        record: dict[str, Any] = {
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.alloc_bytes is not None:
+            record["alloc_bytes"] = self.alloc_bytes
+        if self.attributes:
+            record["attributes"] = _jsonable(self.attributes)
+        return record
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values into JSON-serialisable shapes."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+class Tracer:
+    """Collects spans for one traced scope.
+
+    Not thread-safe: one tracer belongs to one analysis thread, which
+    matches how the engine runs (process-pool workers would each carry
+    their own).
+    """
+
+    def __init__(self, track_allocations: bool = False) -> None:
+        self.spans: list[Span] = []
+        self.track_allocations = track_allocations
+        self._stack: list[Span] = []
+        self._origin = time.perf_counter()
+        self._owns_tracemalloc = False
+        if track_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    def close(self) -> None:
+        """Release resources (stops tracemalloc if this tracer started it)."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Record a span around the body; yields the live span."""
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            name=name,
+            index=len(self.spans),
+            parent=parent.index if parent is not None else None,
+            depth=len(self._stack),
+            attributes=dict(attributes),
+            started_at=time.perf_counter() - self._origin,
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        alloc_before = tracemalloc.get_traced_memory()[0] if self.track_allocations else 0
+        cpu_before = time.process_time()
+        wall_before = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_seconds = time.perf_counter() - wall_before
+            record.cpu_seconds = time.process_time() - cpu_before
+            if self.track_allocations and tracemalloc.is_tracing():
+                record.alloc_bytes = tracemalloc.get_traced_memory()[0] - alloc_before
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def total_wall_seconds(self) -> float:
+        """Summed wall time of the root spans."""
+        return sum(s.wall_seconds for s in self.spans if s.parent is None)
+
+    def children_of(self, index: int | None) -> list[Span]:
+        """Spans directly nested under ``index`` (``None`` for roots)."""
+        return [s for s in self.spans if s.parent == index]
+
+    def self_seconds(self, span: Span) -> float:
+        """Wall time of a span minus its direct children (own work)."""
+        return span.wall_seconds - sum(c.wall_seconds for c in self.children_of(span.index))
+
+    def aggregate(self) -> list[dict[str, Any]]:
+        """Flame-style aggregation: totals per span name, sorted by self time.
+
+        ``self_seconds`` is the time attributed to the phase itself
+        (excluding instrumented sub-phases), which is the column a
+        profile reader optimises against.
+        """
+        buckets: dict[str, dict[str, Any]] = {}
+        for record in self.spans:
+            bucket = buckets.setdefault(
+                record.name,
+                {"name": record.name, "count": 0, "wall_seconds": 0.0,
+                 "self_seconds": 0.0, "cpu_seconds": 0.0, "alloc_bytes": 0},
+            )
+            bucket["count"] += 1
+            bucket["wall_seconds"] += record.wall_seconds
+            bucket["self_seconds"] += self.self_seconds(record)
+            bucket["cpu_seconds"] += record.cpu_seconds
+            if record.alloc_bytes is not None:
+                bucket["alloc_bytes"] += record.alloc_bytes
+        return sorted(buckets.values(), key=lambda b: b["self_seconds"], reverse=True)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """All spans in start order, JSON-compatible."""
+        return [record.as_dict() for record in self.spans]
+
+    def write_jsonl(self, target: Any) -> None:
+        """Write one span per line to a path or text stream."""
+        if hasattr(target, "write"):
+            for record in self.as_dicts():
+                target.write(json.dumps(record) + "\n")
+            return
+        with open(target, "w", encoding="utf-8") as stream:
+            self.write_jsonl(stream)
+
+    def render_tree(self, total: float | None = None) -> str:
+        """Indented text rendering of the span tree with timings."""
+        total = total if total is not None else self.total_wall_seconds()
+        lines = [
+            f"{'span':<44}  {'wall':>10}  {'%':>6}  {'cpu':>10}  {'self':>10}"
+        ]
+        for record in self.spans:
+            share = 100.0 * record.wall_seconds / total if total > 0.0 else 0.0
+            label = "  " * record.depth + record.name
+            extras = _render_attributes(record.attributes)
+            if extras:
+                label = f"{label} {extras}"
+            lines.append(
+                f"{label:<44}  {record.wall_seconds:>9.4f}s  {share:>5.1f}%  "
+                f"{record.cpu_seconds:>9.4f}s  {self.self_seconds(record):>9.4f}s"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer({len(self.spans)} spans, {self.total_wall_seconds():.4f}s)"
+
+
+_INLINE_ATTRIBUTES = ("t", "objective", "lam", "states", "n", "family", "source")
+
+
+def _render_attributes(attributes: dict[str, Any]) -> str:
+    parts = []
+    for key in _INLINE_ATTRIBUTES:
+        if key in attributes:
+            value = attributes[key]
+            if isinstance(value, float):
+                parts.append(f"{key}={value:g}")
+            else:
+                parts.append(f"{key}={value}")
+    return f"[{' '.join(parts)}]" if parts else ""
+
+
+# ----------------------------------------------------------------------
+# The active-tracer slot and the zero-overhead disabled path
+# ----------------------------------------------------------------------
+_ACTIVE: Tracer | None = None
+
+#: Shared, re-enterable no-op context manager returned while tracing is
+#: disabled; yields ``None`` so instrumentation sites can guard optional
+#: annotation work with ``if sp is not None``.
+_NULL_SPAN: ContextManager[None] = nullcontext(None)
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer active in this process, or ``None``."""
+    return _ACTIVE
+
+
+def span(name: str, **attributes: Any) -> ContextManager[Span | None]:
+    """A span on the active tracer, or the shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+@contextmanager
+def tracing(track_allocations: bool = False) -> Iterator[Tracer]:
+    """Activate a fresh :class:`Tracer` for the ``with`` body.
+
+    Tracers do not nest: activating inside an active scope raises, which
+    catches accidental double-instrumentation early.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a tracer is already active; tracing scopes do not nest")
+    tracer = Tracer(track_allocations=track_allocations)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = None
+        tracer.close()
+
+
+# ----------------------------------------------------------------------
+# Step-duration summaries (per-sweep histograms)
+# ----------------------------------------------------------------------
+def summarize_durations(seconds: list[float]) -> dict[str, Any]:
+    """Summary statistics + log-spaced histogram for per-step durations.
+
+    Attached to the backward-iteration span instead of recording one
+    span per step: the FTWC's 30000 h bound takes ~62k steps, and 62k
+    span objects would distort the measurement they are meant to take.
+    """
+    if not seconds:
+        return {"steps": 0}
+    ordered = sorted(seconds)
+    total = sum(ordered)
+    n = len(ordered)
+
+    def quantile(q: float) -> float:
+        return ordered[min(n - 1, int(q * n))]
+
+    # Log-spaced buckets from 1 microsecond up; everything faster lands
+    # in the first bucket.
+    buckets = [1e-6 * 4.0**k for k in range(8)]
+    counts = [0] * (len(buckets) + 1)
+    for value in ordered:
+        for slot, edge in enumerate(buckets):
+            if value <= edge:
+                counts[slot] += 1
+                break
+        else:
+            counts[-1] += 1
+    histogram = {f"le_{edge:.0e}s": count for edge, count in zip(buckets, counts)}
+    histogram["inf"] = counts[-1]
+    return {
+        "steps": n,
+        "total_seconds": total,
+        "min_seconds": ordered[0],
+        "max_seconds": ordered[-1],
+        "mean_seconds": total / n,
+        "p50_seconds": quantile(0.50),
+        "p90_seconds": quantile(0.90),
+        "p99_seconds": quantile(0.99),
+        "steps_per_second": n / total if total > 0.0 else float("inf"),
+        "histogram": histogram,
+    }

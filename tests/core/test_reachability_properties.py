@@ -1,12 +1,16 @@
 """Property-based tests for Algorithm 1 over random uniform CTMDPs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ctmdp import CTMDP
-from repro.core.reachability import timed_reachability, unbounded_reachability
+from repro.core.reachability import (
+    evaluate_step_scheduler,
+    timed_reachability,
+    unbounded_reachability,
+)
+from repro.core.scheduler import greedy_scheduler_from_decisions
 from repro.core.until import timed_until
 from repro.ctmc.reachability import timed_reachability as ctmc_reachability
 
@@ -114,6 +118,28 @@ class TestInvariants:
         coarse = timed_reachability(ctmdp, goal, t, epsilon=1e-4).values
         fine = timed_reachability(ctmdp, goal, t, epsilon=1e-10).values
         np.testing.assert_allclose(coarse, fine, atol=2e-4)
+
+    @given(data=models_with_goals(), t=st.floats(0.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_recorded_scheduler_reproduces_optimum_both_objectives(self, data, t):
+        """The extracted greedy scheduler is optimal for *both*
+        objectives: replaying the recorded decisions through the exact
+        Poisson recursion reproduces the optimal values.  (This is the
+        property the min-objective extraction bug violated.)"""
+        ctmdp, goal = data
+        for objective in ("max", "min"):
+            result = timed_reachability(
+                ctmdp, goal, t, epsilon=1e-10, objective=objective,
+                record_scheduler=True,
+            )
+            assert result.decisions is not None
+            # The wrapper must accept exactly this array shape.
+            scheduler = greedy_scheduler_from_decisions(result.decisions)
+            assert len(scheduler.decisions) == result.iterations
+            replayed = evaluate_step_scheduler(
+                ctmdp, goal, t, result.decisions, epsilon=1e-10
+            )
+            np.testing.assert_allclose(replayed, result.values, atol=1e-9)
 
     @given(data=models_with_goals(), t=st.floats(0.1, 3.0))
     @settings(max_examples=25, deadline=None)

@@ -1,0 +1,112 @@
+"""Unit tests for the shared segmented-optimisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.segments import (
+    TIE_TOLERANCE,
+    SegmentIndex,
+    segment_argbest,
+    segment_reduce,
+    validate_objective,
+)
+from repro.errors import ModelError
+
+
+def index_for(counts: list[int]) -> SegmentIndex:
+    ptr = np.concatenate(([0], np.cumsum(counts)))
+    return SegmentIndex.from_choice_ptr(ptr)
+
+
+class TestSegmentIndex:
+    def test_skips_empty_segments(self):
+        segments = index_for([2, 0, 3, 0])
+        np.testing.assert_array_equal(segments.nonempty, [True, False, True, False])
+        np.testing.assert_array_equal(segments.starts, [0, 2])
+        np.testing.assert_array_equal(segments.counts, [2, 3])
+
+    def test_all_empty(self):
+        segments = index_for([0, 0])
+        assert segments.starts.size == 0
+        assert not segments.nonempty.any()
+
+
+class TestSegmentReduce:
+    def test_max_and_min(self):
+        segments = index_for([2, 3])
+        values = np.array([1.0, 4.0, 2.0, 9.0, 3.0])
+        np.testing.assert_array_equal(
+            segment_reduce(values, segments, "max"), [4.0, 9.0]
+        )
+        np.testing.assert_array_equal(
+            segment_reduce(values, segments, "min"), [1.0, 2.0]
+        )
+
+    def test_empty_index_gives_empty_result(self):
+        segments = index_for([0])
+        assert segment_reduce(np.empty(0), segments, "max").size == 0
+        assert segment_reduce(np.empty(0), segments, "min").size == 0
+
+
+class TestSegmentArgbest:
+    def test_max_picks_first_maximiser(self):
+        segments = index_for([3, 2])
+        values = np.array([1.0, 5.0, 5.0, 2.0, 7.0])
+        best = segment_reduce(values, segments, "max")
+        np.testing.assert_array_equal(
+            segment_argbest(values, best, segments, "max"), [1, 1]
+        )
+
+    def test_min_picks_first_minimiser(self):
+        """The historical bug: with ``>=`` on both objectives this
+        returned [0, 0] -- every value is >= the minimum."""
+        segments = index_for([3, 2])
+        values = np.array([4.0, 1.0, 2.0, 9.0, 3.0])
+        best = segment_reduce(values, segments, "min")
+        np.testing.assert_array_equal(
+            segment_argbest(values, best, segments, "min"), [1, 1]
+        )
+
+    def test_ties_resolve_to_first_within_tolerance(self):
+        segments = index_for([3])
+        values = np.array([2.0, 2.0 + TIE_TOLERANCE / 2, 1.0 + 1.0])
+        best = segment_reduce(values, segments, "max")
+        assert segment_argbest(values, best, segments, "max")[0] == 0
+
+    def test_local_indices_are_relative_to_segment(self):
+        segments = index_for([2, 2])
+        values = np.array([0.0, 1.0, 0.0, 1.0])
+        best = segment_reduce(values, segments, "max")
+        np.testing.assert_array_equal(
+            segment_argbest(values, best, segments, "max"), [1, 1]
+        )
+
+    def test_empty_index(self):
+        segments = index_for([0])
+        assert segment_argbest(np.empty(0), np.empty(0), segments, "min").size == 0
+
+    def test_randomised_against_python_argbest(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            counts = rng.integers(1, 5, size=rng.integers(1, 8)).tolist()
+            segments = index_for(counts)
+            values = rng.normal(size=int(np.sum(counts)))
+            for objective, pick in (("max", np.argmax), ("min", np.argmin)):
+                best = segment_reduce(values, segments, objective)
+                got = segment_argbest(values, best, segments, objective)
+                expected = [
+                    pick(values[s : s + c])
+                    for s, c in zip(segments.starts, segments.counts)
+                ]
+                np.testing.assert_array_equal(got, expected)
+
+
+class TestValidateObjective:
+    def test_accepts_max_and_min(self):
+        assert validate_objective("max") == "max"
+        assert validate_objective("min") == "min"
+
+    @pytest.mark.parametrize("bad", ["sup", "", "MAX", None])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ModelError):
+            validate_objective(bad)

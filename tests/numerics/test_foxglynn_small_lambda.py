@@ -1,0 +1,114 @@
+"""Validation of the tightened small-``lam`` right truncation.
+
+The classical finder evaluates the right-tail bound at ``max(lam, 400)``
+which inflates the window of small parameters by an order of magnitude
+(e.g. ~87 retained indices for ``lam = 0.1``).  The direct pmf walk
+keeps the retained mass guarantee -- validated here against
+``scipy.stats.poisson`` across the parameter range -- while shrinking
+small windows drastically and leaving the ``lam >= 400`` regime of the
+paper's Table 1 untouched.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.numerics.foxglynn import fox_glynn, poisson_right_truncation
+
+LAMBDAS = [0.1, 1.0, 10.0, 24.9, 25.0, 100.0, 400.0, 4000.0]
+EPSILONS = [1e-3, 1e-6, 1e-10]
+
+
+class TestRetainedMass:
+    @pytest.mark.parametrize("lam", LAMBDAS)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_window_mass_at_least_one_minus_epsilon(self, lam, epsilon):
+        """The defining contract: the true Poisson mass inside
+        ``[left, right]`` is at least ``1 - epsilon``."""
+        fg = fox_glynn(lam, epsilon)
+        mass = stats.poisson.cdf(fg.right, lam) - (
+            stats.poisson.cdf(fg.left - 1, lam) if fg.left > 0 else 0.0
+        )
+        assert mass >= 1.0 - epsilon
+
+    @pytest.mark.parametrize("lam", LAMBDAS)
+    @pytest.mark.parametrize("epsilon", EPSILONS)
+    def test_weights_match_scipy_pointwise(self, lam, epsilon):
+        """Below 25 the weights are the exact pmf; above, normalisation
+        by the window sum introduces a relative error of the order of
+        the truncated mass (<= epsilon)."""
+        fg = fox_glynn(lam, epsilon)
+        indices = np.arange(fg.left, fg.right + 1)
+        reference = stats.poisson.pmf(indices, lam)
+        rtol = 1e-10 if lam < 25.0 else max(10.0 * epsilon, 1e-10)
+        np.testing.assert_allclose(fg.probabilities(), reference, atol=1e-12, rtol=rtol)
+
+    @pytest.mark.parametrize("lam", LAMBDAS)
+    def test_normalised_sum_close_to_one(self, lam):
+        fg = fox_glynn(lam, 1e-8)
+        assert abs(float(np.sum(fg.probabilities())) - 1.0) < 1e-8
+
+
+class TestWindowShape:
+    @pytest.mark.parametrize("lam", [0.1, 1.0, 10.0, 24.9, 100.0, 399.0])
+    def test_small_lambda_window_is_tighter_than_classical_formula(self, lam):
+        """The whole point of the change: the direct walk beats the
+        ``sqrt(2 * max(lam, 400))`` overshoot for every ``lam < 400``."""
+        from repro.numerics.foxglynn import _right_tail_k
+
+        classical = int(
+            math.ceil(math.floor(lam) + _right_tail_k(400.0, 1e-6) * math.sqrt(800.0) + 1.5)
+        )
+        assert fox_glynn(lam, 1e-6).right < classical
+
+    @pytest.mark.parametrize("lam", LAMBDAS)
+    def test_tighter_epsilon_never_shrinks_the_window(self, lam):
+        coarse = fox_glynn(lam, 1e-4)
+        fine = fox_glynn(lam, 1e-12)
+        assert fine.right >= coarse.right
+        assert fine.left <= coarse.left
+
+    def test_right_never_below_mode(self):
+        for lam in LAMBDAS:
+            assert fox_glynn(lam, 1e-6).right >= int(math.floor(lam))
+
+    def test_mode_weight_is_retained_maximum(self):
+        """The retained maximum sits at the distribution's mode (integer
+        parameters have two modes, floor(lam) and floor(lam) - 1)."""
+        for lam in LAMBDAS:
+            fg = fox_glynn(lam, 1e-8)
+            mode = int(math.floor(lam))
+            assert abs(int(fg.probabilities().argmax()) + fg.left - mode) <= 1
+
+
+class TestTable1Regime:
+    """The paper's iteration counts live in the ``lam >= 400`` branch,
+    which the small-``lam`` walk must not perturb."""
+
+    def test_30000h_iteration_count_unchanged(self):
+        """N=1: E = 2.0 + 2*0.002 + 2*0.00025 + 0.0002 per hour, so the
+        30000 h bound gives lam ~ 6e4; Table 1 reports 62161 iterations
+        at epsilon = 1e-6 and the classical finder stays within 2%."""
+        rate = 2.0 + 2 * 0.002 + 2 * 0.00025 + 0.0002
+        count = poisson_right_truncation(rate * 30000.0, 1e-6)
+        assert abs(count - 62161) / 62161 < 0.02
+
+    def test_above_400_uses_classical_finder(self):
+        """At lam >= 400 the right point still follows the corollary
+        formula ``mode + k sqrt(2 lam) + 3/2`` for some integer k >= 3."""
+        for lam in (400.0, 4000.0):
+            right = fox_glynn(lam, 1e-6).right
+            mode = int(math.floor(lam))
+            k = (right - 1.5 - mode) / math.sqrt(2.0 * lam)
+            assert k >= 2.9
+
+    def test_100h_iteration_count_drops_below_classical(self):
+        """At N=1, 100 h (lam ~ 200) the old finder reported ~340+
+        iterations; the direct walk cuts that meaningfully while the
+        values stay anchored (see test_reachability_ftwc_regression)."""
+        lam = (2.0 + 2 * 0.002 + 2 * 0.00025 + 0.0002) * 100.0
+        count = poisson_right_truncation(lam, 1e-6)
+        assert count < 340
+        assert count > lam  # still beyond the mode

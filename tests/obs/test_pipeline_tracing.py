@@ -1,0 +1,138 @@
+"""Integration: the instrumented pipeline produces meaningful traces,
+``repro profile`` renders them, and ``repro serve`` exposes metrics."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.cli import main
+from repro.core.ctmdp import CTMDP
+from repro.core.reachability import timed_reachability
+from repro.engine.serve import serve
+from repro.engine.solver import QueryEngine
+from repro.obs import tracing
+from repro.obs.profile import profile_query
+
+
+def small_model() -> CTMDP:
+    return CTMDP.from_transitions(
+        3,
+        [
+            (0, "a", {1: 2.0, 2: 1.0}),
+            (0, "b", {2: 3.0}),
+            (1, "c", {1: 3.0}),
+            (2, "d", {0: 3.0}),
+        ],
+    )
+
+
+class TestSolverTracing:
+    def test_sweep_span_with_step_summary(self):
+        model = small_model()
+        with tracing() as tracer:
+            result = timed_reachability(model, [1], 2.0, epsilon=1e-8)
+        names = [s.name for s in tracer.spans]
+        assert "foxglynn" in names
+        assert "reachability.sweep" in names
+        sweep = next(s for s in tracer.spans if s.name == "reachability.sweep")
+        assert sweep.attributes["iterations"] == result.iterations
+        steps = sweep.attributes["steps"]
+        assert steps["steps"] == result.iterations
+        assert steps["steps_per_second"] > 0.0
+
+    def test_untraced_solve_matches_traced_solve_bitwise(self):
+        """Instrumentation must never change the numbers."""
+        model = small_model()
+        plain = timed_reachability(model, [1], 2.0, epsilon=1e-8)
+        with tracing():
+            traced = timed_reachability(model, [1], 2.0, epsilon=1e-8)
+        np.testing.assert_array_equal(plain.values, traced.values)
+
+    def test_engine_query_produces_phase_spans(self):
+        engine = QueryEngine()
+        from repro.engine.plan import Query
+
+        with tracing() as tracer:
+            batch = engine.run([Query(model={"family": "ftwc", "n": 1}, t=10.0)])
+        assert batch.results[0].ok
+        names = {s.name for s in tracer.spans}
+        assert {"registry.get", "registry.build", "solver.prepare", "solver.solve"} <= names
+
+
+class TestProfile:
+    def test_profile_query_report(self):
+        report = profile_query(family="ftwc", n=1, t=10.0)
+        rendered = report.render()
+        assert "registry.build" in rendered
+        assert "reachability.sweep" in rendered
+        assert "phase" in rendered
+        assert report.value > 0.0
+        assert report.iterations > 0
+
+    def test_profile_cli(self, capsys):
+        assert main(["profile", "ftwc", "--n", "1", "--t", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "registry.build" in out
+        assert "sweep steps:" in out
+
+    def test_profile_cli_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["profile", "ftwc", "--n", "1", "--t", "10", "--trace-out", str(trace)]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "reachability.sweep" for r in records)
+
+
+class TestServeMetrics:
+    def _run(self, lines: list[str]) -> list[str]:
+        sink = io.StringIO()
+        serve(input_stream=io.StringIO("\n".join(lines) + "\n"), output_stream=sink)
+        return sink.getvalue().splitlines()
+
+    def test_metrics_endpoint_prometheus_text(self):
+        out = self._run(
+            [
+                json.dumps({"op": "query", "model": {"family": "ftwc", "n": 1}, "t": 5.0}),
+                "/metrics",
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        body = "\n".join(out)
+        assert "repro_queries_total_total 1" in body
+        assert "# EOF" in body
+
+    def test_metrics_op_prometheus_format(self):
+        out = self._run(
+            [
+                json.dumps({"op": "metrics", "format": "prometheus"}),
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        payload = json.loads(out[0])
+        assert payload["text"].endswith("# EOF\n")
+
+    def test_metrics_op_json_unchanged(self):
+        out = self._run(
+            [json.dumps({"op": "metrics"}), json.dumps({"op": "shutdown"})]
+        )
+        assert "metrics" in json.loads(out[0])
+
+
+class TestOverheadShape:
+    def test_disabled_span_is_cheap_relative_to_work(self):
+        """Coarse sanity guard (the precise budget lives in
+        benchmarks/test_bench_obs.py): a million disabled span entries
+        must cost well under a second."""
+        import time
+
+        from repro.obs import span
+
+        started = time.perf_counter()
+        for _ in range(1_000_000):
+            with span("hot"):
+                pass
+        elapsed = time.perf_counter() - started
+        assert elapsed < 2.0

@@ -1,0 +1,172 @@
+"""Unit tests for the span tracer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import current_tracer, read_jsonl, span, summarize_durations, tracing
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestDisabledPath:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_span_returns_shared_null_context(self):
+        """The disabled path allocates nothing: every call returns the
+        module-level null context manager."""
+        assert span("anything", t=1.0) is _NULL_SPAN
+        assert span("else") is _NULL_SPAN
+
+    def test_null_span_yields_none(self):
+        with span("disabled") as sp:
+            assert sp is None
+
+    def test_null_span_reenterable(self):
+        for _ in range(3):
+            with span("again") as sp:
+                assert sp is None
+
+
+class TestRecording:
+    def test_nesting_and_parenthood(self):
+        with tracing() as tracer:
+            with span("outer", family="ftwc"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        assert [s.name for s in tracer.spans] == ["outer", "inner", "inner"]
+        outer, first, second = tracer.spans
+        assert outer.parent is None and outer.depth == 0
+        assert first.parent == outer.index and first.depth == 1
+        assert second.parent == outer.index
+        assert outer.attributes["family"] == "ftwc"
+
+    def test_timings_accumulate(self):
+        with tracing() as tracer:
+            with span("work"):
+                sum(range(10000))
+        record = tracer.spans[0]
+        assert record.wall_seconds >= 0.0
+        assert tracer.total_wall_seconds() == record.wall_seconds
+
+    def test_self_seconds_excludes_children(self):
+        with tracing() as tracer:
+            with span("parent"):
+                with span("child"):
+                    sum(range(50000))
+        parent, child = tracer.spans
+        assert tracer.self_seconds(parent) == pytest.approx(
+            parent.wall_seconds - child.wall_seconds
+        )
+
+    def test_annotate_after_the_fact(self):
+        with tracing() as tracer:
+            with span("phase") as sp:
+                assert sp is not None
+                sp.annotate(iterations=42)
+        assert tracer.spans[0].attributes["iterations"] == 42
+
+    def test_tracer_deactivated_after_scope(self):
+        with tracing():
+            assert current_tracer() is not None
+        assert current_tracer() is None
+        assert span("after") is _NULL_SPAN
+
+    def test_tracing_scopes_do_not_nest(self):
+        with tracing():
+            with pytest.raises(RuntimeError):
+                with tracing():
+                    pass
+
+    def test_exception_still_closes_span(self):
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with span("failing"):
+                    raise ValueError("boom")
+        assert tracer.spans[0].wall_seconds >= 0.0
+        assert current_tracer() is None
+
+    def test_allocation_tracking(self):
+        with tracing(track_allocations=True) as tracer:
+            with span("alloc"):
+                _block = bytearray(1 << 20)
+        record = tracer.spans[0]
+        assert record.alloc_bytes is not None
+        assert record.alloc_bytes >= (1 << 20) * 0.9
+
+
+class TestAggregationAndExport:
+    def test_aggregate_groups_by_name(self):
+        with tracing() as tracer:
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+            with span("single"):
+                pass
+        buckets = {b["name"]: b for b in tracer.aggregate()}
+        assert buckets["repeated"]["count"] == 3
+        assert buckets["single"]["count"] == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        with tracing() as tracer:
+            with span("outer", n=2):
+                with span("inner"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        records = read_jsonl(path)
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        assert records[0]["attributes"]["n"] == 2
+        assert records[1]["parent"] == records[0]["index"]
+
+    def test_jsonl_to_stream_is_valid_json_lines(self):
+        with tracing() as tracer:
+            with span("one"):
+                pass
+        sink = io.StringIO()
+        tracer.write_jsonl(sink)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "one"
+
+    def test_render_tree_mentions_every_span(self):
+        with tracing() as tracer:
+            with span("build"):
+                with span("sweep", t=100.0):
+                    pass
+        rendered = tracer.render_tree()
+        assert "build" in rendered
+        assert "sweep" in rendered
+        assert "t=100" in rendered
+
+    def test_numpy_attributes_serialise(self):
+        import numpy as np
+
+        with tracing() as tracer:
+            with span("np", value=np.float64(0.5), count=np.int64(3)):
+                pass
+        record = tracer.as_dicts()[0]
+        json.dumps(record)  # must not raise
+        assert record["attributes"]["value"] == 0.5
+
+
+class TestSummarizeDurations:
+    def test_empty(self):
+        assert summarize_durations([]) == {"steps": 0}
+
+    def test_quantiles_and_rate(self):
+        seconds = [0.001] * 90 + [0.01] * 10
+        summary = summarize_durations(seconds)
+        assert summary["steps"] == 100
+        assert summary["p50_seconds"] == 0.001
+        assert summary["p99_seconds"] == 0.01
+        assert summary["total_seconds"] == pytest.approx(0.19)
+        assert summary["steps_per_second"] == pytest.approx(100 / 0.19)
+
+    def test_histogram_counts_everything(self):
+        seconds = [1e-7, 1e-6, 1e-4, 1.0]
+        summary = summarize_durations(seconds)
+        assert sum(summary["histogram"].values()) == len(seconds)
