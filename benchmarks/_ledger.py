@@ -1,0 +1,70 @@
+"""Append-style benchmark ledgers.
+
+The ``BENCH_*.json`` files in the repository root are growth ledgers:
+every benchmark run appends one entry keyed by the git commit and a UTC
+timestamp, so regressions are visible as a series rather than a single
+overwritten snapshot.  :func:`append_run` is the single writer -- it
+converts a legacy single-run document (the pre-ledger format) into the
+first entry and bounds the series length so the files stay reviewable.
+"""
+
+import json
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+
+def git_sha(cwd: Path) -> str:
+    """The current short commit id, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def append_run(
+    path: Path, benchmark: str, payload: dict[str, Any], keep: int = 50
+) -> dict[str, Any]:
+    """Append one run to the ledger at ``path`` and return the entry.
+
+    ``payload`` is the benchmark's measurement record; the ledger stamps
+    it with the commit id and an ISO-8601 UTC timestamp.  A pre-ledger
+    single-run document found at ``path`` becomes the first entry (with
+    unknown provenance).  Only the last ``keep`` runs are retained.
+    """
+    path = Path(path)
+    runs: list[dict[str, Any]] = []
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = None
+        if isinstance(document, dict):
+            if isinstance(document.get("runs"), list):
+                runs = [run for run in document["runs"] if isinstance(run, dict)]
+            else:
+                legacy = {
+                    key: value for key, value in document.items() if key != "benchmark"
+                }
+                legacy.setdefault("commit", "unknown")
+                legacy.setdefault("recorded_at", None)
+                runs = [legacy]
+    entry: dict[str, Any] = {
+        "commit": git_sha(path.parent),
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    entry.update(payload)
+    runs.append(entry)
+    runs = runs[-keep:]
+    document = {"benchmark": benchmark, "runs": runs}
+    path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return entry

@@ -1,0 +1,89 @@
+"""Scrape latency of the HTTP telemetry endpoint.
+
+Populates an engine's metric store with a realistic workload (a small
+FTWC batch, so counters, gauges and certificate histograms are all
+present), starts a :class:`~repro.obs.http.TelemetryServer`, and times
+repeated ``GET /metrics`` scrapes over loopback.  The exposition must
+stay cheap enough that a 1-second Prometheus scrape interval is
+comfortably idle, and every response must be a well-formed exposition.
+
+Appends the measurements to the ``BENCH_http.json`` ledger.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_http.py``.
+"""
+
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from _ledger import append_run
+from repro.engine.plan import Query
+from repro.engine.solver import QueryEngine
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, TelemetryServer
+
+SCRAPES = 50
+
+#: Per-scrape budget, generous for a loopback round-trip of a few KiB of
+#: text on a loaded CI box.
+SCRAPE_BUDGET_SECONDS = 0.25
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = QueryEngine()
+    batch = engine.run(
+        [
+            Query(
+                model={"family": "ftwc", "n": 1},
+                t=t,
+                epsilon=1e-6,
+                goal="no_premium",
+                objective="max",
+            )
+            for t in (10.0, 50.0, 100.0)
+        ]
+    )
+    assert batch.num_failed == 0
+    return engine
+
+
+def test_metrics_scrape_latency(engine):
+    durations = []
+    with TelemetryServer(engine.metrics) as server:
+        url = f"{server.url}/metrics"
+        # Warm-up: socket setup, handler import paths.
+        urllib.request.urlopen(url).read()
+        for _ in range(SCRAPES):
+            started = time.perf_counter()
+            with urllib.request.urlopen(url) as response:
+                body = response.read().decode("utf-8")
+                content_type = response.headers["Content-Type"]
+            durations.append(time.perf_counter() - started)
+            assert content_type == PROMETHEUS_CONTENT_TYPE
+            assert body.endswith("# EOF\n")
+            assert "repro_queries_total_total 3" in body
+            assert "repro_certificates_total_total 3" in body
+
+    durations.sort()
+    p50 = durations[len(durations) // 2]
+    p99 = durations[min(len(durations) - 1, int(len(durations) * 0.99))]
+    assert p99 <= SCRAPE_BUDGET_SECONDS, (
+        f"/metrics p99 scrape latency {p99 * 1e3:.2f} ms exceeds budget "
+        f"{SCRAPE_BUDGET_SECONDS * 1e3:.0f} ms"
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_http.json"
+    append_run(
+        out,
+        "http-metrics-scrape",
+        {
+            "scrapes": SCRAPES,
+            "exposition_bytes": len(body.encode("utf-8")),
+            "min_seconds": durations[0],
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+            "budget_seconds": SCRAPE_BUDGET_SECONDS,
+        },
+    )

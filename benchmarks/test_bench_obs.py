@@ -5,19 +5,20 @@ The tracing instrumentation sits inside the hottest loop of the library
 negligible.  This module measures an instrumented Table-1-sized solve
 (FTWC N=4, t=100 h: ~2000 states, ~300 sweeps) against a reference
 reimplementation of the pre-instrumentation loop running on the same
-prepared arrays, asserts the overhead stays within ~5%, and writes the
-measurements to ``BENCH_obs.json`` in the repository root -- the first
-datapoints of the benchmark ledger.
+prepared arrays, asserts the overhead stays within ~5%, and appends the
+measurements to the ``BENCH_obs.json`` ledger in the repository root
+(one entry per run, keyed by commit and timestamp; see ``_ledger``).
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_obs.py``.
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+from _ledger import append_run
 
 from repro.core.reachability import PreparedTimedReachability
 from repro.core.segments import segment_reduce
@@ -117,8 +118,7 @@ def test_enabled_tracer_still_usable(prepared):
 
 def _record_datapoints(prepared, ref_seconds, solve_seconds, iterations):
     out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
-    document = {
-        "benchmark": "obs-overhead",
+    payload = {
         "workload": {
             "family": "ftwc",
             "n": N,
@@ -135,4 +135,4 @@ def _record_datapoints(prepared, ref_seconds, solve_seconds, iterations):
         "repeats": REPEATS,
         "timing": "min over repeats",
     }
-    out.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    append_run(out, "obs-overhead", payload)

@@ -220,6 +220,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the raw span trace as JSONL to this path",
     )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan model groups out over worker processes (their spans are "
+        "merged back into the profile trace)",
+    )
+    profile.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=None,
+        help="profile a batch over these cluster sizes instead of a single "
+        "--n query (needed to engage the worker pool)",
+    )
     _add_cache_arguments(profile)
 
     serve = sub.add_parser(
@@ -236,7 +251,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fan batch-request model groups out over worker processes",
     )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="additionally expose /metrics, /healthz and /traces over HTTP "
+        "on this port (0 picks a free port)",
+    )
+    serve.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind address for --http-port (default: 127.0.0.1)",
+    )
     _add_cache_arguments(serve)
+
+    obs_server = sub.add_parser(
+        "obs-server",
+        help="standalone HTTP telemetry server (/metrics, /healthz, "
+        "/traces), optionally primed by answering a query workload",
+    )
+    obs_server.add_argument(
+        "--port", type=int, default=8943, help="TCP port (0 picks a free port)"
+    )
+    obs_server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    obs_server.add_argument(
+        "--queries",
+        default=None,
+        help="answer this batch file (JSON, same shape as 'repro batch') "
+        "under tracing before serving, so the endpoints have data",
+    )
+    obs_server.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds, then exit cleanly "
+        "(default: until interrupted)",
+    )
+    obs_server.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the --queries workload",
+    )
+    _add_cache_arguments(obs_server)
 
     return parser
 
@@ -325,6 +384,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     labels = {"no_premium": mask, "premium": ~mask}
     result = check(args.query, model, labels, epsilon=args.epsilon)
     print(result)
+    if result.certificate is not None:
+        print(result.certificate.describe())
     if result.satisfied is None:
         # Quantitative queries (P=?) compute a value but no verdict; do
         # not conflate "no verdict" with "satisfied" (exit 0).
@@ -486,6 +547,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             goal=args.goal,
             track_allocations=args.allocations,
             cache_dir=cache_dir,
+            workers=args.workers,
+            ns=args.ns,
         )
     except (ReproError, RuntimeError) as exc:
         print(f"profile failed: {exc}", file=sys.stderr)
@@ -500,7 +563,67 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import serve as engine_serve
 
-    return engine_serve(engine=_make_engine(args))
+    return engine_serve(
+        engine=_make_engine(args),
+        http_port=args.http_port,
+        http_host=args.http_host,
+    )
+
+
+def _cmd_obs_server(args: argparse.Namespace) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.obs import tracing
+    from repro.obs.http import SpanLog, TelemetryServer
+
+    engine = _make_engine(args)
+    span_log = SpanLog()
+    try:
+        server = TelemetryServer(
+            engine.metrics, host=args.host, port=args.port, span_log=span_log
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    server.start()
+    print(
+        f"telemetry listening on {server.url} "
+        "(endpoints: /metrics /healthz /traces)",
+        file=sys.stderr,
+    )
+    try:
+        if args.queries:
+            try:
+                document = json.loads(Path(args.queries).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"cannot read {args.queries}: {exc}", file=sys.stderr)
+                return 2
+            if isinstance(document, list):
+                records, defaults = document, None
+            elif isinstance(document, dict) and isinstance(document.get("queries"), list):
+                records, defaults = document["queries"], document.get("defaults")
+            else:
+                print(f"{args.queries}: not a batch file", file=sys.stderr)
+                return 2
+            with tracing() as tracer:
+                batch = engine.run_dicts(records, defaults=defaults)
+            span_log.extend(tracer.as_dicts())
+            print(
+                f"answered {len(batch.results)} queries "
+                f"({batch.num_failed} failed)",
+                file=sys.stderr,
+            )
+        if args.duration is not None:
+            time.sleep(max(0.0, args.duration))
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -530,6 +653,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "batch": _cmd_batch,
         "profile": _cmd_profile,
         "serve": _cmd_serve,
+        "obs-server": _cmd_obs_server,
     }
     return handlers[args.command](args)
 

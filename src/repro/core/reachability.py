@@ -52,7 +52,7 @@ from repro.core.segments import (
 )
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import FoxGlynn, fox_glynn
-from repro.obs import current_tracer, span, summarize_durations
+from repro.obs import NumericalCertificate, certificate_from_foxglynn, sweep_span
 
 __all__ = [
     "ReachabilityResult",
@@ -87,6 +87,10 @@ class ReachabilityResult:
         Optional step-indexed optimal scheduler: ``decisions[i - 1][s]``
         is the index (within ``transitions_of(s)``) chosen at step ``i``,
         or ``-1`` where no choice exists.  Only recorded on request.
+    certificate:
+        The numerical-health certificate of this solve: truncation
+        accounting, sweep residual and the certified a-posteriori error
+        bound (see :mod:`repro.obs.certificate`).
     """
 
     values: np.ndarray
@@ -96,6 +100,7 @@ class ReachabilityResult:
     objective: str
     poisson: FoxGlynn
     decisions: np.ndarray | None = None
+    certificate: NumericalCertificate | None = None
 
     def value(self, state: int) -> float:
         """Probability from ``state``."""
@@ -168,6 +173,7 @@ class PreparedTimedReachability:
             time_bound=t,
             objective=objective,
             poisson=fox_glynn(0.0, min(epsilon, 0.5)),
+            certificate=NumericalCertificate.trivial("ctmdp.reachability", epsilon),
         )
 
     def solve(
@@ -200,10 +206,7 @@ class PreparedTimedReachability:
         if record_scheduler:
             decisions = np.full((k, num_states), -1, dtype=np.int32)
 
-        tracer = current_tracer()
-        step_seconds: list[float] | None = [] if tracer is not None else None
-
-        with span(
+        with sweep_span(
             "reachability.sweep",
             t=t,
             objective=objective,
@@ -211,11 +214,11 @@ class PreparedTimedReachability:
             transitions=self.ctmdp.num_transitions,
             iterations=k,
             lam=self.rate * t,
-        ) as sweep:
+        ) as steps:
+            record_steps = steps.enabled
             q = np.zeros(num_states)
             for i in range(k, 0, -1):
-                if step_seconds is not None:
-                    step_started = perf_counter()
+                step_started = perf_counter() if record_steps else 0.0
                 psi_i = psi[i - fg.left] if i >= fg.left else 0.0
                 transition_values = psi_i * prob_to_goal + prob @ q
                 best = segment_reduce(transition_values, segments, objective)
@@ -230,13 +233,12 @@ class PreparedTimedReachability:
                         transition_values, best, segments, objective
                     ).astype(np.int32)
                 q = new_q
-                if step_seconds is not None:
-                    step_seconds.append(perf_counter() - step_started)
-            if sweep is not None and step_seconds is not None:
-                sweep.annotate(steps=summarize_durations(step_seconds))
+                if record_steps:
+                    steps.record(perf_counter() - step_started)
 
         values = q.copy()
         values[goal_idx] = 1.0
+        residual = max(0.0, float(values.max()) - 1.0, -float(values.min()))
         np.clip(values, 0.0, 1.0, out=values)
 
         return ReachabilityResult(
@@ -247,6 +249,9 @@ class PreparedTimedReachability:
             objective=objective,
             poisson=fg,
             decisions=decisions,
+            certificate=certificate_from_foxglynn(
+                fg, epsilon, "ctmdp.reachability", sweep_residual=residual
+            ),
         )
 
 
@@ -373,13 +378,20 @@ def unbounded_reachability(
     prob = ctmdp.probability_matrix()
     segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
 
-    q = mask.astype(np.float64)
-    for _ in range(max_iterations):
-        transition_values = prob @ q
-        new_q = np.zeros(ctmdp.num_states)
-        new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
-        new_q[mask] = 1.0
-        if np.max(np.abs(new_q - q)) < tol:
-            return new_q
-        q = new_q
+    with sweep_span(
+        "vi.sweep", objective=objective, states=ctmdp.num_states, kind="unbounded"
+    ) as steps:
+        record_steps = steps.enabled
+        q = mask.astype(np.float64)
+        for _ in range(max_iterations):
+            step_started = perf_counter() if record_steps else 0.0
+            transition_values = prob @ q
+            new_q = np.zeros(ctmdp.num_states)
+            new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
+            new_q[mask] = 1.0
+            if record_steps:
+                steps.record(perf_counter() - step_started)
+            if np.max(np.abs(new_q - q)) < tol:
+                return new_q
+            q = new_q
     return q

@@ -19,6 +19,7 @@ most p".
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 import numpy as np
@@ -28,7 +29,7 @@ from repro.core.reachability import ReachabilityResult, _goal_mask
 from repro.core.segments import SegmentIndex, segment_reduce, validate_objective
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import fox_glynn
-from repro.obs import span
+from repro.obs import NumericalCertificate, certificate_from_foxglynn, sweep_span
 
 __all__ = ["timed_until"]
 
@@ -87,6 +88,7 @@ def timed_until(
             time_bound=t,
             objective=objective,
             poisson=dummy,
+            certificate=NumericalCertificate.trivial("ctmdp.until", epsilon),
         )
 
     rate = ctmdp.uniform_rate()
@@ -100,16 +102,18 @@ def timed_until(
     segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
 
     goal_idx = np.flatnonzero(goal_mask)
-    with span(
+    with sweep_span(
         "until.sweep",
         t=t,
         objective=objective,
         states=ctmdp.num_states,
         iterations=fg.right,
         lam=rate * t,
-    ):
+    ) as steps:
+        record_steps = steps.enabled
         q = np.zeros(ctmdp.num_states)
         for i in range(fg.right, 0, -1):
+            step_started = perf_counter() if record_steps else 0.0
             psi_i = psi[i - fg.left] if i >= fg.left else 0.0
             transition_values = psi_i * prob_to_goal + prob @ q
             new_q = np.zeros(ctmdp.num_states)
@@ -117,10 +121,13 @@ def timed_until(
             new_q[goal_idx] = psi_i + q[goal_idx]
             new_q[blocked] = 0.0  # entering a non-safe state loses the game
             q = new_q
+            if record_steps:
+                steps.record(perf_counter() - step_started)
 
     values = q.copy()
     values[goal_idx] = 1.0
     values[blocked] = 0.0
+    residual = max(0.0, float(values.max()) - 1.0, -float(values.min()))
     np.clip(values, 0.0, 1.0, out=values)
     return ReachabilityResult(
         values=values,
@@ -129,4 +136,7 @@ def timed_until(
         time_bound=t,
         objective=objective,
         poisson=fg,
+        certificate=certificate_from_foxglynn(
+            fg, epsilon, "ctmdp.until", sweep_residual=residual
+        ),
     )

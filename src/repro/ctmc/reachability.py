@@ -23,6 +23,7 @@ from repro.ctmc.model import CTMC
 from repro.ctmc.uniformization import uniformized_jump_matrix
 from repro.errors import ModelError
 from repro.numerics.foxglynn import fox_glynn
+from repro.obs import NumericalCertificate, certificate_from_foxglynn
 
 __all__ = [
     "PreparedCTMCReachability",
@@ -89,6 +90,11 @@ class PreparedCTMCReachability:
     depend on the time bound; this class performs them once so a whole
     time sweep shares the setup.  :func:`timed_reachability` delegates
     here, keeping prepared and one-shot solves bitwise-identical.
+
+    Each :meth:`solve` additionally issues a numerical-health
+    certificate, readable as :attr:`last_certificate` (the return type
+    stays a bare probability vector for backwards compatibility; the
+    query engine picks the certificate up from here).
     """
 
     def __init__(
@@ -108,6 +114,7 @@ class PreparedCTMCReachability:
         self.mask = mask
         self.num_states = n
         self._ready = False
+        self.last_certificate: NumericalCertificate | None = None
         if not mask.any():
             return
 
@@ -128,6 +135,9 @@ class PreparedCTMCReachability:
         if t < 0.0:
             raise ModelError("time bound must be non-negative")
         if t == 0.0 or not self._ready:
+            self.last_certificate = NumericalCertificate.trivial(
+                "ctmc.reachability", epsilon
+            )
             return self.mask.astype(np.float64)
 
         mask = self.mask
@@ -149,6 +159,10 @@ class PreparedCTMCReachability:
             # update keeps the recursion exact also at i = right).
             q[mask] = psi_i + q_next[mask]
         q[mask] = 1.0
+        residual = max(0.0, float(q.max()) - 1.0, -float(q.min()))
+        self.last_certificate = certificate_from_foxglynn(
+            fg, epsilon, "ctmc.reachability", sweep_residual=residual
+        )
         return np.clip(q, 0.0, 1.0)
 
 

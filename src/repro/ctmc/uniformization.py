@@ -11,16 +11,21 @@ a Poisson-weighted sum of powers of the (discrete) jump matrix.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.ctmc.model import CTMC
 from repro.errors import ModelError
 from repro.numerics.foxglynn import fox_glynn
+from repro.obs import NumericalCertificate, certificate_from_foxglynn
 
 __all__ = [
     "uniformize",
     "uniformized_jump_matrix",
+    "TransientResult",
+    "transient_analysis",
     "transient_distribution",
     "steady_state_distribution",
 ]
@@ -77,17 +82,27 @@ def uniformized_jump_matrix(ctmc: CTMC, rate: float | None = None) -> tuple[sp.c
     return p, e
 
 
-def transient_distribution(
+@dataclass(frozen=True)
+class TransientResult:
+    """Transient distribution plus its numerical-health certificate."""
+
+    distribution: np.ndarray
+    certificate: NumericalCertificate
+
+
+def transient_analysis(
     ctmc: CTMC,
     t: float,
     initial_distribution: np.ndarray | None = None,
     epsilon: float = 1e-10,
     rate: float | None = None,
-) -> np.ndarray:
+) -> TransientResult:
     """Transient state distribution ``pi(t)`` via uniformization.
 
     Computes ``pi(t) = sum_n psi(n; E t) pi(0) P^n`` with Fox-Glynn
-    truncation of the Poisson series.
+    truncation of the Poisson series, and certifies the truncation and
+    floating-point error of the run (the sweep residual is the mass
+    deficit ``|1 - sum pi(t)|`` plus any negative excursion).
 
     Parameters
     ----------
@@ -116,7 +131,10 @@ def transient_distribution(
         if abs(pi0.sum() - 1.0) > 1e-9 or (pi0 < -1e-12).any():
             raise ModelError("initial distribution must be a probability vector")
     if t == 0.0:
-        return pi0.copy()
+        return TransientResult(
+            distribution=pi0.copy(),
+            certificate=NumericalCertificate.trivial("ctmc.transient", epsilon),
+        )
 
     p, e = uniformized_jump_matrix(ctmc, rate)
     fg = fox_glynn(e * t, epsilon)
@@ -129,7 +147,28 @@ def transient_distribution(
             result += probs[step - fg.left] * vec
         if step < fg.right:
             vec = vec @ p
-    return result
+    residual = max(abs(1.0 - float(result.sum())), -float(result.min()), 0.0)
+    certificate = certificate_from_foxglynn(
+        fg, epsilon, "ctmc.transient", sweep_residual=residual
+    )
+    return TransientResult(distribution=result, certificate=certificate)
+
+
+def transient_distribution(
+    ctmc: CTMC,
+    t: float,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = 1e-10,
+    rate: float | None = None,
+) -> np.ndarray:
+    """Transient state distribution ``pi(t)``; see :func:`transient_analysis`.
+
+    Kept for callers that only want the bare vector; delegates to
+    :func:`transient_analysis` so both paths are bitwise-identical.
+    """
+    return transient_analysis(
+        ctmc, t, initial_distribution=initial_distribution, epsilon=epsilon, rate=rate
+    ).distribution
 
 
 def steady_state_distribution(ctmc: CTMC) -> np.ndarray:

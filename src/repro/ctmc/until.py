@@ -15,20 +15,21 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.ctmc.model import CTMC
-from repro.ctmc.reachability import goal_mask as _mask, timed_reachability
+from repro.ctmc.reachability import PreparedCTMCReachability, goal_mask as _mask
 from repro.errors import ModelError
+from repro.obs import NumericalCertificate
 
-__all__ = ["timed_until"]
+__all__ = ["timed_until", "timed_until_with_certificate"]
 
 
-def timed_until(
+def timed_until_with_certificate(
     ctmc: CTMC,
     safe: Iterable[int] | np.ndarray,
     goal: Iterable[int] | np.ndarray,
     t: float,
     epsilon: float = 1e-10,
-) -> np.ndarray:
-    """Probability of ``safe U^{<=t} goal`` per state of a CTMC."""
+) -> tuple[np.ndarray, NumericalCertificate | None]:
+    """Like :func:`timed_until`, also returning the solve's certificate."""
     n = ctmc.num_states
     goal_arr = goal if isinstance(goal, np.ndarray) and goal.dtype == bool else _mask(n, goal)
     safe_arr = safe if isinstance(safe, np.ndarray) and safe.dtype == bool else _mask(n, safe)
@@ -42,6 +43,18 @@ def timed_until(
         rates.rows[state] = []
         rates.data[state] = []
     pruned = CTMC(rates=sp.csr_matrix(rates), initial=ctmc.initial)
-    values = timed_reachability(pruned, goal_arr, t, epsilon=epsilon)
+    solver = PreparedCTMCReachability(pruned, goal_arr)
+    values = solver.solve(t, epsilon=epsilon)
     values[blocked] = 0.0
-    return values
+    return values, solver.last_certificate
+
+
+def timed_until(
+    ctmc: CTMC,
+    safe: Iterable[int] | np.ndarray,
+    goal: Iterable[int] | np.ndarray,
+    t: float,
+    epsilon: float = 1e-10,
+) -> np.ndarray:
+    """Probability of ``safe U^{<=t} goal`` per state of a CTMC."""
+    return timed_until_with_certificate(ctmc, safe, goal, t, epsilon=epsilon)[0]

@@ -77,17 +77,42 @@ def serve(
     engine: QueryEngine | None = None,
     input_stream: IO[str] | None = None,
     output_stream: IO[str] | None = None,
+    http_port: int | None = None,
+    http_host: str = "127.0.0.1",
 ) -> int:
     """Run the request loop until EOF or a ``shutdown`` request.
 
     Returns the process exit code (always 0; protocol-level errors are
     reported in-band so a misbehaving client cannot take the server
     down).
+
+    With ``http_port`` set, a :class:`repro.obs.http.TelemetryServer`
+    additionally exposes the session's metrics over HTTP (``/metrics``,
+    ``/healthz``, ``/traces``) for the lifetime of the loop; ``0`` binds
+    an ephemeral port.  The listener is shut down gracefully when the
+    loop ends, whichever way it ends.
     """
     engine = engine if engine is not None else QueryEngine()
     source = input_stream if input_stream is not None else sys.stdin
     sink = output_stream if output_stream is not None else sys.stdout
 
+    telemetry = None
+    if http_port is not None:
+        from repro.obs.http import TelemetryServer
+
+        telemetry = TelemetryServer(
+            engine.metrics, host=http_host, port=http_port
+        ).start()
+        print(f"telemetry listening on {telemetry.url}", file=sys.stderr)
+    try:
+        _serve_loop(engine, source, sink)
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
+    return 0
+
+
+def _serve_loop(engine: QueryEngine, source: IO[str], sink: IO[str]) -> None:
     for line in source:
         line = line.strip()
         if not line:
@@ -110,4 +135,3 @@ def serve(
         _respond(sink, response)
         if not keep_running:
             break
-    return 0

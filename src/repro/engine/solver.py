@@ -19,6 +19,7 @@ the shared on-disk cache and ships its metrics back for aggregation.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -33,7 +34,14 @@ from repro.engine.plan import Query, QueryGroup, plan_queries, query_from_dict
 from repro.engine.registry import BuiltModel, ModelRegistry
 from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.numerics.foxglynn import poisson_right_truncation
-from repro.obs import span
+from repro.obs import (
+    NumericalCertificate,
+    current_tracer,
+    record_certificate,
+    reset_subprocess_tracer,
+    span,
+    tracing,
+)
 
 __all__ = [
     "QueryResult",
@@ -87,7 +95,8 @@ class QueryResult:
     ``value`` is the probability from the model's initial state (``None``
     on failure); ``cache`` records where the model came from (``"build"``,
     ``"memory"`` or ``"disk"``); ``seconds`` is the solve wall-clock time
-    of this query alone.
+    of this query alone; ``certificate`` is the solver's numerical-health
+    certificate (``None`` only for failed queries).
     """
 
     index: int
@@ -98,6 +107,7 @@ class QueryResult:
     model_key: str = ""
     cache: str | None = None
     error: str | None = None
+    certificate: NumericalCertificate | None = None
 
     @property
     def ok(self) -> bool:
@@ -115,6 +125,9 @@ class QueryResult:
             "model_key": self.model_key,
             "cache": self.cache,
             "error": self.error,
+            "certificate": (
+                self.certificate.as_dict() if self.certificate is not None else None
+            ),
         }
 
 
@@ -194,6 +207,7 @@ def _solve_group(
                     outcome = prepared.solve(query.t, query.epsilon, group.objective)
                     value = outcome.value(built.model.initial)
                     iterations = outcome.iterations
+                    certificate = outcome.certificate
                 else:
                     values = prepared.solve(query.t, query.epsilon)
                     value = float(values[built.model.initial])
@@ -202,10 +216,13 @@ def _solve_group(
                         if query.t > 0.0 and has_goal
                         else 0
                     )
+                    certificate = prepared.last_certificate
             seconds = time.perf_counter() - started
             metrics.add_time("solve_seconds", seconds)
             metrics.count("foxglynn")
             metrics.count("iterations", iterations)
+            if certificate is not None:
+                record_certificate(metrics, certificate)
             results.append(
                 QueryResult(
                     index=index,
@@ -215,6 +232,7 @@ def _solve_group(
                     seconds=seconds,
                     model_key=group.model_key,
                     cache=built.source,
+                    certificate=certificate,
                 )
             )
         except QueryTimeout:
@@ -243,16 +261,35 @@ def _solve_group(
 
 
 def _worker_solve_group(
-    group: QueryGroup, cache_dir: str | None, timeout: float | None
-) -> tuple[list[QueryResult], dict]:
+    group: QueryGroup,
+    cache_dir: str | None,
+    timeout: float | None,
+    trace_id: str | None = None,
+) -> tuple[list[QueryResult], dict, dict | None]:
     """Process-pool entry point: solve one group in a fresh registry.
 
     The worker shares only the on-disk cache with the parent; its
-    metrics snapshot is returned for aggregation.
+    metrics snapshot is returned for aggregation.  When the parent runs
+    under tracing it passes its ``trace_id``; the worker then records
+    its own spans under that id and ships them back as the third tuple
+    element (spans, the worker tracer's activation epoch, and the
+    worker pid) for :meth:`Tracer.adopt` in the parent.
     """
+    # A fork-started worker inherits the parent's active tracer in the
+    # module global; spans recorded there would vanish with the worker.
+    reset_subprocess_tracer()
     registry = ModelRegistry(cache_dir=cache_dir)
-    results = _solve_group(registry, group, timeout)
-    return results, registry.metrics.as_dict()
+    if trace_id is None:
+        results = _solve_group(registry, group, timeout)
+        return results, registry.metrics.as_dict(), None
+    with tracing(trace_id=trace_id) as tracer:
+        results = _solve_group(registry, group, timeout)
+        payload = {
+            "spans": tracer.as_dicts(),
+            "origin_epoch": tracer.origin_epoch,
+            "pid": os.getpid(),
+        }
+    return results, registry.metrics.as_dict(), payload
 
 
 def run_batch(
@@ -294,18 +331,28 @@ def run_batch(
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
         pool_size = min(workers, len(groups))
+        parent_tracer = current_tracer()
+        trace_id = parent_tracer.trace_id if parent_tracer is not None else None
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=pool_size, mp_context=context
         ) as pool:
             futures = {
-                pool.submit(_worker_solve_group, group, cache_dir, timeout): group
+                pool.submit(
+                    _worker_solve_group, group, cache_dir, timeout, trace_id
+                ): group
                 for group in groups
             }
             for future in concurrent.futures.as_completed(futures):
                 group = futures[future]
                 try:
-                    results, worker_metrics = future.result()
+                    results, worker_metrics, trace_payload = future.result()
                     metrics.merge(worker_metrics)
+                    if parent_tracer is not None and trace_payload is not None:
+                        parent_tracer.adopt(
+                            trace_payload["spans"],
+                            origin_epoch=trace_payload["origin_epoch"],
+                            attributes={"worker_pid": trace_payload["pid"]},
+                        )
                 except Exception as exc:
                     results = _error_results(group, f"worker failed: {exc}")
                 for result in results:

@@ -13,8 +13,8 @@ from repro.core.reachability import timed_reachability, unbounded_reachability
 from repro.core.until import timed_until as ctmdp_timed_until
 from repro.ctmc.hitting import expected_hitting_time
 from repro.ctmc.model import CTMC
-from repro.ctmc.reachability import timed_reachability as ctmc_timed_reachability
-from repro.ctmc.until import timed_until as ctmc_timed_until
+from repro.ctmc.reachability import PreparedCTMCReachability
+from repro.ctmc.until import timed_until_with_certificate as ctmc_timed_until
 from repro.ctmc.uniformization import steady_state_distribution
 from repro.errors import ModelError
 from repro.logic.formulas import (
@@ -29,6 +29,7 @@ from repro.logic.formulas import (
     Until,
 )
 from repro.logic.parser import parse_query
+from repro.obs import NumericalCertificate
 
 __all__ = ["CheckResult", "check"]
 
@@ -38,12 +39,16 @@ class CheckResult:
     """Outcome of a query evaluation at one state.
 
     ``value`` is the computed quantity; ``satisfied`` is the verdict for
-    threshold queries and ``None`` for ``=?`` queries.
+    threshold queries and ``None`` for ``=?`` queries; ``certificate``
+    is the numerical-health certificate of the underlying solve
+    (``None`` for analyses that do not truncate a Poisson series, e.g.
+    steady-state and expected-time queries).
     """
 
     query: Query
     value: float
     satisfied: bool | None
+    certificate: NumericalCertificate | None = None
 
     def __str__(self) -> str:
         verdict = "" if self.satisfied is None else f"  [{self.satisfied}]"
@@ -76,7 +81,8 @@ def _probability(
     labels: Mapping[str, np.ndarray],
     state: int,
     epsilon: float,
-) -> float:
+) -> tuple[float, NumericalCertificate | None]:
+    """The queried probability plus the solve's certificate (when any)."""
     is_ctmdp = isinstance(model, CTMDP)
     if is_ctmdp and query.objective is Objective.NONE:
         raise ModelError("CTMDP queries need a scheduler quantifier (Pmax/Pmin)")
@@ -94,24 +100,28 @@ def _probability(
                 )
             from repro.ctmc.reachability import interval_reachability
 
+            # Composite of a transient analysis and a reachability solve;
+            # no single certificate covers it.
             return interval_reachability(
                 model, goal, path.bound[0], path.bound[1], epsilon=epsilon,
                 initial=state,
-            )
+            ), None
         if path.bound is None:
             if is_ctmdp:
                 return float(
                     unbounded_reachability(model, goal, objective=query.objective.value)[state]
-                )
+                ), None
             # Unbounded reachability on a CTMC: the embedded jump chain
             # decides it; reuse the CTMDP machinery on a wrapped model.
-            return float(_ctmc_unbounded(model, goal)[state])
+            return float(_ctmc_unbounded(model, goal)[state]), None
         if is_ctmdp:
             result = timed_reachability(
                 model, goal, path.bound, epsilon=epsilon, objective=query.objective.value
             )
-            return result.value(state)
-        return float(ctmc_timed_reachability(model, goal, path.bound, epsilon=epsilon)[state])
+            return result.value(state), result.certificate
+        solver = PreparedCTMCReachability(model, goal)
+        values = solver.solve(path.bound, epsilon=epsilon)
+        return float(values[state]), solver.last_certificate
 
     assert isinstance(path, Until)
     safe = _resolve(path.safe, labels, n)
@@ -122,8 +132,11 @@ def _probability(
         result = ctmdp_timed_until(
             model, safe, goal, path.bound, epsilon=epsilon, objective=query.objective.value
         )
-        return result.value(state)
-    return float(ctmc_timed_until(model, safe, goal, path.bound, epsilon=epsilon)[state])
+        return result.value(state), result.certificate
+    values, certificate = ctmc_timed_until(
+        model, safe, goal, path.bound, epsilon=epsilon
+    )
+    return float(values[state]), certificate
 
 
 def _ctmc_unbounded(ctmc: CTMC, goal: np.ndarray) -> np.ndarray:
@@ -168,11 +181,12 @@ def check(
         raise ModelError(f"state {state} out of range")
 
     if isinstance(query, ProbabilityQuery):
-        value = _probability(query, model, labels, state, epsilon)
+        value, certificate = _probability(query, model, labels, state, epsilon)
         return CheckResult(
             query=query,
             value=value,
             satisfied=_verdict(query.comparison, query.threshold, value),
+            certificate=certificate,
         )
 
     if isinstance(query, SteadyStateQuery):

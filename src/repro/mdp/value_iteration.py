@@ -9,6 +9,7 @@ per-state optimisation is the shared segmented reduction of
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 import numpy as np
@@ -16,6 +17,7 @@ import numpy as np
 from repro.core.segments import SegmentIndex, segment_reduce, validate_objective
 from repro.errors import ModelError
 from repro.mdp.model import DTMDP
+from repro.obs import sweep_span
 
 __all__ = ["bounded_reachability", "unbounded_reachability"]
 
@@ -45,13 +47,21 @@ def bounded_reachability(
     mask = _mask(mdp, goal)
     segments = SegmentIndex.from_choice_ptr(mdp.choice_ptr)
 
-    q = mask.astype(np.float64)
-    for _ in range(steps):
-        values = mdp.probabilities @ q
-        new_q = np.zeros(mdp.num_states)
-        new_q[segments.nonempty] = segment_reduce(values, segments, objective)
-        new_q[mask] = 1.0
-        q = new_q
+    with sweep_span(
+        "vi.sweep", objective=objective, states=mdp.num_states,
+        iterations=steps, kind="bounded",
+    ) as recorder:
+        record_steps = recorder.enabled
+        q = mask.astype(np.float64)
+        for _ in range(steps):
+            step_started = perf_counter() if record_steps else 0.0
+            values = mdp.probabilities @ q
+            new_q = np.zeros(mdp.num_states)
+            new_q[segments.nonempty] = segment_reduce(values, segments, objective)
+            new_q[mask] = 1.0
+            q = new_q
+            if record_steps:
+                recorder.record(perf_counter() - step_started)
     return q
 
 
@@ -67,13 +77,20 @@ def unbounded_reachability(
     mask = _mask(mdp, goal)
     segments = SegmentIndex.from_choice_ptr(mdp.choice_ptr)
 
-    q = mask.astype(np.float64)
-    for _ in range(max_iterations):
-        values = mdp.probabilities @ q
-        new_q = np.zeros(mdp.num_states)
-        new_q[segments.nonempty] = segment_reduce(values, segments, objective)
-        new_q[mask] = 1.0
-        if np.max(np.abs(new_q - q)) < tol:
-            return new_q
-        q = new_q
+    with sweep_span(
+        "vi.sweep", objective=objective, states=mdp.num_states, kind="unbounded"
+    ) as recorder:
+        record_steps = recorder.enabled
+        q = mask.astype(np.float64)
+        for _ in range(max_iterations):
+            step_started = perf_counter() if record_steps else 0.0
+            values = mdp.probabilities @ q
+            new_q = np.zeros(mdp.num_states)
+            new_q[segments.nonempty] = segment_reduce(values, segments, objective)
+            new_q[mask] = 1.0
+            if record_steps:
+                recorder.record(perf_counter() - step_started)
+            if np.max(np.abs(new_q - q)) < tol:
+                return new_q
+            q = new_q
     return q

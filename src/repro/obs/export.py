@@ -6,52 +6,135 @@ Two consumers are served:
   emits one span per line; :func:`read_jsonl` loads such a file back
   into plain dictionaries for analysis scripts;
 * **scrapers** -- :func:`prometheus_exposition` renders a
-  :class:`~repro.obs.metrics.MetricStore` (counters and timers) in the
-  Prometheus/OpenMetrics text format, which ``repro serve`` answers on
-  a literal ``/metrics`` request line.
+  :class:`~repro.obs.metrics.MetricStore` (counters, timers, gauges,
+  histograms, info metrics) in the Prometheus/OpenMetrics text format,
+  answered by ``repro serve`` on a literal ``/metrics`` request line
+  and by the HTTP telemetry server (:mod:`repro.obs.http`) on
+  ``GET /metrics``.
 
 Metric name mangling follows the Prometheus conventions: counters get
 a ``_total`` suffix, timers become ``<name>_seconds_total`` (the stored
-timer names already end in ``_seconds``), and every character outside
-``[a-zA-Z0-9_]`` is replaced by ``_``.
+timer names already end in ``_seconds``), histograms expand into
+``_bucket``/``_sum``/``_count`` sample families, and every character
+outside ``[a-zA-Z0-9_]`` is replaced by ``_``.  Each family is
+announced by ``# HELP`` and ``# TYPE`` lines, in that order, and label
+values are escaped per the text-format grammar (backslash, double
+quote, newline).
 """
 
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import Any
 
 from repro.obs.metrics import MetricStore
 
-__all__ = ["prometheus_exposition", "read_jsonl"]
+__all__ = ["escape_label_value", "prometheus_exposition", "read_jsonl"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Help strings for the metric families the engine records; families
+#: outside the glossary get a generic description.
+_HELP: dict[str, str] = {
+    "queries_total": "Queries answered, including failed ones.",
+    "queries_failed": "Queries that produced an error record.",
+    "models_built": "Models constructed from scratch (cache misses).",
+    "cache_hits_memory": "Registry lookups answered from memory.",
+    "cache_hits_disk": "Registry lookups answered from the disk cache.",
+    "cache_misses": "Registry lookups that had to build.",
+    "disk_writes": "Models persisted to the on-disk cache.",
+    "foxglynn": "Fox-Glynn truncation-point/weight computations.",
+    "iterations": "Total backward value-iteration steps.",
+    "sanitize_checks": "Model sanitizer passes run.",
+    "certificates_total": "Numerical-health certificates issued.",
+    "certificates_degraded": "Certificates whose health checks failed.",
+    "certificate_underflows": "Poisson weights that underflowed to zero.",
+    "certificate_overflows": "Non-finite Poisson weights observed.",
+    "certificate_error_bound": "Per-result a-posteriori error bounds.",
+    "certificate_last_error_bound": "Error bound of the most recent certificate.",
+    "certificate_error_bound_max": "Largest error bound issued so far.",
+    "certificate_dropped_mass": "Poisson mass outside the truncation window.",
+    "http_requests": "HTTP telemetry requests served.",
+}
 
 
 def _metric_name(prefix: str, name: str) -> str:
     return _NAME_RE.sub("_", prefix + name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format grammar."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value)) if value != int(value) else str(int(value))
+
+
+def _header(lines: list[str], metric: str, kind: str, base_name: str) -> None:
+    help_text = _HELP.get(base_name, f"{kind} {base_name} recorded by repro.")
+    lines.append(f"# HELP {metric} {help_text}")
+    lines.append(f"# TYPE {metric} {kind}")
+
+
 def prometheus_exposition(metrics: MetricStore, prefix: str = "repro_") -> str:
-    """Render counters and timers in the Prometheus text format.
+    """Render the store in the Prometheus text format.
 
     Counters are exposed as ``<prefix><name>_total`` with type
     ``counter``; accumulated timers as ``<prefix><name>_seconds_total``
-    (both are monotonically increasing over a server's lifetime).  The
-    output terminates with the OpenMetrics ``# EOF`` marker so scrapers
-    can detect truncation.
+    (both monotonically increasing over a server's lifetime); gauges
+    keep their name; histograms expand into cumulative ``_bucket``
+    samples (one per bound plus ``+Inf``) with ``_sum`` and ``_count``;
+    info metrics render as a constant-1 gauge carrying their labels.
+    The output terminates with the OpenMetrics ``# EOF`` marker so
+    scrapers can detect truncation.
     """
+    snapshot = metrics.as_dict()
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    infos = snapshot.get("infos", {})
+
     lines: list[str] = []
-    for name, value in sorted(metrics.counters.items()):
+    for name, value in counters.items():
         metric = _metric_name(prefix, name) + "_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    for name, value in sorted(metrics.timers.items()):
+        _header(lines, metric, "counter", name)
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in timers.items():
         base = name[: -len("_seconds")] if name.endswith("_seconds") else name
         metric = _metric_name(prefix, base) + "_seconds_total"
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {float(value)}")
+        _header(lines, metric, "counter", name)
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, value in gauges.items():
+        metric = _metric_name(prefix, name)
+        _header(lines, metric, "gauge", name)
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, data in histograms.items():
+        metric = _metric_name(prefix, name)
+        _header(lines, metric, "histogram", name)
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}')
+        cumulative += int(data["counts"][-1])
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(float(data['sum']))}")
+        lines.append(f"{metric}_count {cumulative}")
+    for name, labels in infos.items():
+        metric = _metric_name(prefix, name)
+        _header(lines, metric, "gauge", name)
+        rendered = ",".join(
+            f'{_NAME_RE.sub("_", key)}="{escape_label_value(value)}"'
+            for key, value in sorted(labels.items())
+        )
+        lines.append(f"{metric}{{{rendered}}} 1")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

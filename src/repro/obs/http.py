@@ -1,0 +1,182 @@
+"""Stdlib HTTP telemetry endpoint for the analysis engine.
+
+A :class:`TelemetryServer` exposes the live observability state of a
+running process over plain HTTP -- no third-party dependency, just
+``http.server`` on a daemon thread:
+
+``GET /metrics``
+    The engine's :class:`~repro.obs.metrics.MetricStore` in Prometheus
+    text exposition format (``text/plain; version=0.0.4``).
+``GET /healthz``
+    JSON health summary derived from the numerical-health certificates
+    recorded in the store (:func:`repro.obs.certificate.health_summary`);
+    ``200`` while every certificate is healthy, ``503`` once any solve
+    was degraded.
+``GET /traces``
+    The most recent finished spans as newline-delimited JSON (the same
+    records ``Tracer.as_dicts`` emits); ``?limit=N`` tails the last
+    ``N``.
+
+The server is started by ``repro serve --http-port`` alongside the
+stdio request loop and standalone by ``repro obs-server``; both shut it
+down gracefully (the listener thread is joined, the socket closed).
+
+Reads are snapshots under the store's lock, so scraping a server that is
+concurrently answering queries is safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable, Mapping
+from urllib.parse import parse_qs
+
+from repro.obs.certificate import health_summary
+from repro.obs.export import prometheus_exposition
+from repro.obs.metrics import MetricStore
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "SpanLog", "TelemetryServer"]
+
+#: Content type of the ``/metrics`` endpoint, per the Prometheus text
+#: exposition format specification.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class SpanLog:
+    """Thread-safe ring buffer of finished span records.
+
+    Holds the most recent ``maxlen`` span dictionaries (the shape of
+    ``Tracer.as_dicts``) for the ``/traces`` endpoint.  Bounded so a
+    long-lived server cannot grow without limit.
+    """
+
+    def __init__(self, maxlen: int = 512) -> None:
+        self._records: deque[dict[str, Any]] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Append finished span records, oldest first."""
+        with self._lock:
+            self._records.extend(dict(record) for record in records)
+
+    def tail(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The last ``limit`` records (all of them when ``None``)."""
+        with self._lock:
+            records = list(self._records)
+        if limit is not None and limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Request handler; routing for the three read-only endpoints."""
+
+    server: "TelemetryServer"
+    server_version = "repro-obs/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path, _, query = self.path.partition("?")
+        if path == "/metrics":
+            body = prometheus_exposition(self.server.metrics).encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            summary = health_summary(self.server.metrics)
+            status = 200 if summary.get("status") == "ok" else 503
+            body = (json.dumps(summary, indent=2) + "\n").encode("utf-8")
+            self._reply(status, "application/json", body)
+        elif path == "/traces":
+            limit = _parse_limit(query)
+            lines = [json.dumps(record) for record in self.server.span_log.tail(limit)]
+            body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+            self._reply(200, "application/x-ndjson", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging; scrapes are frequent."""
+
+
+def _parse_limit(query: str) -> int | None:
+    values = parse_qs(query).get("limit")
+    if not values:
+        return None
+    try:
+        return max(0, int(values[0]))
+    except ValueError:
+        return None
+
+
+class TelemetryServer(ThreadingHTTPServer):
+    """HTTP telemetry listener over a metric store and a span log.
+
+    Binds immediately on construction (``port=0`` picks a free port,
+    readable as :attr:`port`); :meth:`start` spins up the daemon
+    listener thread and :meth:`stop` shuts it down gracefully.  Usable
+    as a context manager::
+
+        with TelemetryServer(engine.metrics) as server:
+            urllib.request.urlopen(f"{server.url}/metrics")
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        metrics: MetricStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        span_log: SpanLog | None = None,
+    ) -> None:
+        self.metrics = metrics
+        self.span_log = span_log if span_log is not None else SpanLog()
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _TelemetryHandler)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved after ``port=0``)."""
+        return int(self.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the listener, e.g. ``http://127.0.0.1:8943``."""
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("telemetry server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-obs-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving, join the listener thread, close the socket."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

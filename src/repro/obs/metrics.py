@@ -1,41 +1,163 @@
-"""Counters and accumulated wall-clock timers.
+"""Counters, timers, gauges and histograms.
 
 :class:`MetricStore` is the metric primitive the whole observability
-layer sits on: a bag of named monotonic counters and accumulated
-timers, mergeable across processes and serialisable as JSON or in the
-Prometheus text exposition format (see :mod:`repro.obs.export`).  The
-engine's :class:`~repro.engine.metrics.EngineMetrics` is this class
-under its historical name; the counter/timer glossary the engine uses
-lives in ``docs/observability.md``.
+layer sits on: a bag of named monotonic counters, accumulated timers,
+point-in-time gauges and fixed-bucket histograms, mergeable across
+processes and serialisable as JSON or in the Prometheus text exposition
+format (see :mod:`repro.obs.export`).  The engine's
+:class:`~repro.engine.metrics.EngineMetrics` is this class under its
+historical name; the counter/timer glossary the engine uses lives in
+``docs/observability.md``.
+
+The store is thread-safe: every mutation takes an internal lock, so the
+HTTP telemetry server (:mod:`repro.obs.http`) can render a consistent
+snapshot while solver threads keep recording.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
 
-__all__ = ["MetricStore"]
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricStore"]
+
+#: Default histogram bucket upper bounds (seconds or dimensionless),
+#: log-spaced to cover both certificate error bounds (~1e-12 .. 1e-3)
+#: and request/scrape latencies (~1e-4 .. 10 s).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-12, 1e-10, 1e-8, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are the finite bucket upper bounds; an implicit ``+Inf``
+    bucket catches everything beyond the last bound.  ``counts[i]`` is
+    the number of observations ``<= bounds[i]`` (*non*-cumulative per
+    slot here; the exposition layer accumulates), ``counts[-1]`` the
+    overflow count.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError("histogram counts must have len(bounds) + 1 slots")
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return sum(self.counts)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for slot, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[slot] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += float(value)
+
+    def merge(self, other: "Histogram | Mapping") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        if not isinstance(other, Histogram):
+            other = Histogram(
+                bounds=tuple(other.get("bounds", DEFAULT_BUCKETS)),
+                counts=list(other.get("counts", [])),
+                sum=float(other.get("sum", 0.0)),
+            )
+        if tuple(other.bounds) != tuple(self.bounds):
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        for slot, count in enumerate(other.counts):
+            self.counts[slot] += int(count)
+        self.sum += other.sum
+
+    def as_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "sum": self.sum, "count": self.count}
 
 
 class MetricStore:
-    """A bag of named counters and accumulated wall-clock timers."""
+    """A thread-safe bag of counters, timers, gauges and histograms."""
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.timers: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.infos: dict[str, dict[str, str]] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def count(self, name: str, increment: int = 1) -> None:
         """Increment the counter ``name`` (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + increment
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + increment
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` onto the timer ``name``."""
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        with self._lock:
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins).
+
+        Names ending in ``_max`` / ``_min`` carry running-extremum
+        semantics: setting them keeps the larger / smaller of the old
+        and new value, and cross-process merges do the same.  This is
+        how ``certificate_error_bound_max`` stays meaningful when
+        worker snapshots are folded into the parent store.
+        """
+        with self._lock:
+            self._set_gauge(name, float(value))
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        if name in self.gauges:
+            if name.endswith("_max"):
+                value = max(self.gauges[name], value)
+            elif name.endswith("_min"):
+                value = min(self.gauges[name], value)
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] | None = None) -> None:
+        """Record ``value`` into the histogram ``name``.
+
+        ``bounds`` fixes the bucket upper bounds on first use (the
+        shared :data:`DEFAULT_BUCKETS` otherwise); later observations
+        ignore the argument.
+        """
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(
+                    bounds=tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+                )
+                self.histograms[name] = histogram
+            histogram.observe(value)
+
+    def set_info(self, name: str, **labels: str) -> None:
+        """Attach an info metric: a constant-1 gauge carrying labels.
+
+        Rendered as ``<prefix><name>{key="value", ...} 1`` -- the
+        Prometheus idiom for build/version metadata.
+        """
+        with self._lock:
+            self.infos[name] = {str(k): str(v) for k, v in labels.items()}
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -50,17 +172,36 @@ class MetricStore:
         """Fold another store (or its ``as_dict`` form) into this one.
 
         Used to aggregate the metrics of process-pool workers into the
-        parent's collector.
+        parent's collector.  Counters, timers and histograms add;
+        gauges take the incoming value (with the ``_max``/``_min``
+        extremum rule of :meth:`gauge`); infos overwrite.
         """
         if isinstance(other, MetricStore):
-            counters, timers = other.counters, other.timers
+            with other._lock:
+                snapshot = other.as_dict_unlocked()
         else:
-            counters = other.get("counters", {})
-            timers = other.get("timers", {})
+            snapshot = other
+        counters = snapshot.get("counters", {})
+        timers = snapshot.get("timers", {})
+        gauges = snapshot.get("gauges", {})
+        histograms = snapshot.get("histograms", {})
+        infos = snapshot.get("infos", {})
         for name, value in counters.items():
             self.count(name, int(value))
         for name, value in timers.items():
             self.add_time(name, float(value))
+        with self._lock:
+            for name, value in gauges.items():
+                self._set_gauge(name, float(value))
+            for name, data in histograms.items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    bounds = data["bounds"] if isinstance(data, Mapping) else data.bounds
+                    histogram = Histogram(bounds=tuple(bounds))
+                    self.histograms[name] = histogram
+                histogram.merge(data)
+            for name, labels in infos.items():
+                self.infos[name] = dict(labels)
 
     # ------------------------------------------------------------------
     # Reading
@@ -73,12 +214,40 @@ class MetricStore:
         """Accumulated seconds of timer ``name`` (zero if never used)."""
         return self.timers.get(name, 0.0)
 
-    def as_dict(self) -> dict:
-        """JSON-compatible snapshot ``{"counters": ..., "timers": ...}``."""
-        return {
+    def gauge_value(self, name: str, default: float = math.nan) -> float:
+        """Current value of gauge ``name`` (``default`` if never set)."""
+        return self.gauges.get(name, default)
+
+    def as_dict_unlocked(self) -> dict:
+        """The snapshot without taking the lock (callers must hold it)."""
+        snapshot: dict = {
             "counters": dict(sorted(self.counters.items())),
             "timers": {name: float(value) for name, value in sorted(self.timers.items())},
         }
+        if self.gauges:
+            snapshot["gauges"] = {
+                name: float(value) for name, value in sorted(self.gauges.items())
+            }
+        if self.histograms:
+            snapshot["histograms"] = {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self.histograms.items())
+            }
+        if self.infos:
+            snapshot["infos"] = {
+                name: dict(labels) for name, labels in sorted(self.infos.items())
+            }
+        return snapshot
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot.
+
+        Always carries ``counters`` and ``timers``; ``gauges``,
+        ``histograms`` and ``infos`` appear only when non-empty, which
+        keeps the engine's historical batch-result shape stable.
+        """
+        with self._lock:
+            return self.as_dict_unlocked()
 
     def dumps(self, indent: int | None = None) -> str:
         """The snapshot serialised as a JSON string."""

@@ -23,28 +23,42 @@ is activated for a lexical scope with :func:`tracing`::
     tracer.render_tree()      # indented phase breakdown
     tracer.write_jsonl(path)  # one span per line, for external tooling
 
+Traces span process boundaries: every tracer carries a ``trace_id`` and
+every span a process-qualified ``span_id``, so spans recorded inside a
+process-pool worker (under the *parent's* trace id) can be serialised
+with the query result and re-attached to the parent tracer via
+:meth:`Tracer.adopt` -- the ids stay stable across the hop.
+
 Per-*step* instrumentation inside the backward iteration does not
 create one span per step (the FTWC horizons reach tens of thousands of
 steps); instead the solver collects raw step durations only while a
-tracer is active and attaches a summary histogram to the sweep's span
-(see :func:`summarize_durations`).
+tracer is active and attaches a summary histogram to the sweep's span.
+The shared pattern -- open a ``*.sweep`` span, time each step, attach
+the :func:`summarize_durations` summary, close with an ``error`` status
+if the sweep raises -- is packaged as :func:`sweep_span`, which the
+reachability, until and value-iteration sweeps all use.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import tracemalloc
+import uuid
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any, ContextManager, Iterator
+from typing import Any, ContextManager, Iterable, Iterator, Mapping
 
 __all__ = [
     "Span",
+    "StepRecorder",
     "Tracer",
     "tracing",
     "current_tracer",
+    "reset_subprocess_tracer",
     "span",
+    "sweep_span",
     "summarize_durations",
 ]
 
@@ -72,6 +86,12 @@ class Span:
     alloc_bytes:
         Net allocation delta over the span when the tracer tracks
         allocations, else ``None``.
+    status:
+        ``"ok"`` normally; ``"error"`` when the span body raised (the
+        exception type and message land in the ``error`` attribute).
+    span_id / parent_span_id:
+        Stable identifiers of the form ``<trace_id>:<pid>:<index>``;
+        they survive serialisation and cross-process adoption.
     """
 
     name: str
@@ -83,6 +103,9 @@ class Span:
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
     alloc_bytes: int | None = None
+    status: str = "ok"
+    span_id: str = ""
+    parent_span_id: str | None = None
 
     def annotate(self, **attributes: Any) -> None:
         """Attach (or overwrite) attributes on the span."""
@@ -98,6 +121,9 @@ class Span:
             "started_at": self.started_at,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
         }
         if self.alloc_bytes is not None:
             record["alloc_bytes"] = self.alloc_bytes
@@ -123,15 +149,20 @@ class Tracer:
     """Collects spans for one traced scope.
 
     Not thread-safe: one tracer belongs to one analysis thread, which
-    matches how the engine runs (process-pool workers would each carry
-    their own).
+    matches how the engine runs.  Process-pool workers each run their
+    own tracer (under the parent's ``trace_id``) and the parent folds
+    their serialised spans back in with :meth:`adopt`.
     """
 
-    def __init__(self, track_allocations: bool = False) -> None:
+    def __init__(self, track_allocations: bool = False, trace_id: str | None = None) -> None:
         self.spans: list[Span] = []
         self.track_allocations = track_allocations
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex[:16]
         self._stack: list[Span] = []
         self._origin = time.perf_counter()
+        #: Epoch timestamp of activation; lets :meth:`adopt` place spans
+        #: from another process on this tracer's timeline.
+        self.origin_epoch = time.time()
         self._owns_tracemalloc = False
         if track_allocations and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -146,17 +177,29 @@ class Tracer:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _span_id(self, index: int) -> str:
+        return f"{self.trace_id}:{os.getpid():x}:{index}"
+
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
-        """Record a span around the body; yields the live span."""
+        """Record a span around the body; yields the live span.
+
+        The span is closed on every exit path: if the body raises, the
+        span still receives its timings, its ``status`` flips to
+        ``"error"`` and the exception is recorded in the ``error``
+        attribute before propagating.
+        """
         parent = self._stack[-1] if self._stack else None
+        index = len(self.spans)
         record = Span(
             name=name,
-            index=len(self.spans),
+            index=index,
             parent=parent.index if parent is not None else None,
             depth=len(self._stack),
             attributes=dict(attributes),
             started_at=time.perf_counter() - self._origin,
+            span_id=self._span_id(index),
+            parent_span_id=parent.span_id if parent is not None else None,
         )
         self.spans.append(record)
         self._stack.append(record)
@@ -165,12 +208,66 @@ class Tracer:
         wall_before = time.perf_counter()
         try:
             yield record
+        except BaseException as exc:
+            record.status = "error"
+            record.attributes.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
         finally:
             record.wall_seconds = time.perf_counter() - wall_before
             record.cpu_seconds = time.process_time() - cpu_before
             if self.track_allocations and tracemalloc.is_tracing():
                 record.alloc_bytes = tracemalloc.get_traced_memory()[0] - alloc_before
             self._stack.pop()
+
+    def adopt(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        origin_epoch: float | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> list[Span]:
+        """Attach serialised spans from another process to this trace.
+
+        ``records`` is the ``as_dicts()`` output of the remote tracer
+        (typically a process-pool worker running under this tracer's
+        ``trace_id``).  Span/parent *indices* are remapped into this
+        tracer's span list while the stable ``span_id`` strings are
+        kept verbatim, so JSONL exports reference the same ids the
+        worker logged.  ``origin_epoch`` (the remote tracer's
+        activation timestamp) aligns ``started_at`` offsets onto this
+        tracer's timeline; ``attributes`` (e.g. the worker pid) are
+        merged into every adopted span.
+        """
+        offset = 0.0
+        if origin_epoch is not None:
+            offset = origin_epoch - self.origin_epoch
+        index_map: dict[int, int] = {}
+        adopted: list[Span] = []
+        for record in records:
+            old_index = int(record["index"])
+            new_index = len(self.spans)
+            index_map[old_index] = new_index
+            old_parent = record.get("parent")
+            new_parent = index_map.get(old_parent) if old_parent is not None else None
+            merged_attributes = dict(record.get("attributes") or {})
+            if attributes:
+                merged_attributes.update(attributes)
+            span_record = Span(
+                name=str(record["name"]),
+                index=new_index,
+                parent=new_parent,
+                depth=int(record.get("depth", 0)),
+                attributes=merged_attributes,
+                started_at=float(record.get("started_at", 0.0)) + offset,
+                wall_seconds=float(record.get("wall_seconds", 0.0)),
+                cpu_seconds=float(record.get("cpu_seconds", 0.0)),
+                alloc_bytes=record.get("alloc_bytes"),
+                status=str(record.get("status", "ok")),
+                span_id=str(record.get("span_id") or self._span_id(new_index)),
+                parent_span_id=record.get("parent_span_id"),
+            )
+            self.spans.append(span_record)
+            adopted.append(span_record)
+        return adopted
 
     # ------------------------------------------------------------------
     # Reading
@@ -213,8 +310,17 @@ class Tracer:
     # Export
     # ------------------------------------------------------------------
     def as_dicts(self) -> list[dict[str, Any]]:
-        """All spans in start order, JSON-compatible."""
-        return [record.as_dict() for record in self.spans]
+        """All spans in start order, JSON-compatible.
+
+        Every record additionally carries the tracer's ``trace_id`` so
+        a JSONL file mixing several traces stays separable.
+        """
+        records = []
+        for record in self.spans:
+            data = record.as_dict()
+            data["trace_id"] = self.trace_id
+            records.append(data)
+        return records
 
     def write_jsonl(self, target: Any) -> None:
         """Write one span per line to a path or text stream."""
@@ -235,6 +341,8 @@ class Tracer:
             share = 100.0 * record.wall_seconds / total if total > 0.0 else 0.0
             label = "  " * record.depth + record.name
             extras = _render_attributes(record.attributes)
+            if record.status != "ok":
+                extras = f"!{record.status} {extras}".rstrip()
             if extras:
                 label = f"{label} {extras}"
             lines.append(
@@ -247,7 +355,7 @@ class Tracer:
         return f"Tracer({len(self.spans)} spans, {self.total_wall_seconds():.4f}s)"
 
 
-_INLINE_ATTRIBUTES = ("t", "objective", "lam", "states", "n", "family", "source")
+_INLINE_ATTRIBUTES = ("t", "objective", "lam", "states", "n", "family", "source", "worker_pid")
 
 
 def _render_attributes(attributes: dict[str, Any]) -> str:
@@ -278,6 +386,19 @@ def current_tracer() -> Tracer | None:
     return _ACTIVE
 
 
+def reset_subprocess_tracer() -> None:
+    """Drop a tracer inherited across ``fork``.
+
+    A forked process-pool worker starts with a *copy* of the parent's
+    active tracer in the module global; spans appended to that copy
+    would silently vanish when the worker exits.  Worker entry points
+    call this first, then activate their own tracer whose spans are
+    shipped back explicitly.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
 def span(name: str, **attributes: Any) -> ContextManager[Span | None]:
     """A span on the active tracer, or the shared no-op when disabled."""
     tracer = _ACTIVE
@@ -287,22 +408,98 @@ def span(name: str, **attributes: Any) -> ContextManager[Span | None]:
 
 
 @contextmanager
-def tracing(track_allocations: bool = False) -> Iterator[Tracer]:
+def tracing(track_allocations: bool = False, trace_id: str | None = None) -> Iterator[Tracer]:
     """Activate a fresh :class:`Tracer` for the ``with`` body.
 
     Tracers do not nest: activating inside an active scope raises, which
-    catches accidental double-instrumentation early.
+    catches accidental double-instrumentation early.  ``trace_id`` pins
+    the trace identifier -- process-pool workers pass the parent's id so
+    the merged trace is one logical trace.
     """
     global _ACTIVE
     if _ACTIVE is not None:
         raise RuntimeError("a tracer is already active; tracing scopes do not nest")
-    tracer = Tracer(track_allocations=track_allocations)
+    tracer = Tracer(track_allocations=track_allocations, trace_id=trace_id)
     _ACTIVE = tracer
     try:
         yield tracer
     finally:
         _ACTIVE = None
         tracer.close()
+
+
+# ----------------------------------------------------------------------
+# Shared sweep instrumentation (per-step histograms)
+# ----------------------------------------------------------------------
+class StepRecorder:
+    """Collects per-step durations for one sweep.
+
+    ``enabled`` is ``False`` when no tracer is active; the sweep loops
+    guard their two ``perf_counter`` calls on it, which keeps the
+    disabled path within the overhead budget::
+
+        with sweep_span("until.sweep", t=t) as steps:
+            for i in ...:
+                t0 = perf_counter() if steps.enabled else 0.0
+                ...
+                if steps.enabled:
+                    steps.record(perf_counter() - t0)
+    """
+
+    __slots__ = ("enabled", "seconds")
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.seconds: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.seconds.append(seconds)
+
+
+#: Shared disabled recorder handed out when no tracer is active.
+_NULL_RECORDER = StepRecorder(False)
+
+
+class _NullSweep:
+    """Re-enterable no-op context yielding the shared disabled recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> StepRecorder:
+        return _NULL_RECORDER
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SWEEP = _NullSweep()
+
+
+@contextmanager
+def _sweep_span_enabled(tracer: Tracer, name: str, attributes: dict[str, Any]) -> Iterator[StepRecorder]:
+    with tracer.span(name, **attributes) as sp:
+        recorder = StepRecorder(True)
+        try:
+            yield recorder
+        finally:
+            if recorder.seconds:
+                sp.annotate(steps=summarize_durations(recorder.seconds))
+
+
+def sweep_span(name: str, **attributes: Any) -> ContextManager[StepRecorder]:
+    """Instrument one backward sweep: a span plus a per-step recorder.
+
+    The single helper behind the ``reachability.sweep``, ``until.sweep``
+    and ``vi.sweep`` instrumentation: it opens the span, hands the loop
+    a :class:`StepRecorder`, attaches the :func:`summarize_durations`
+    step summary on exit, and -- like every span -- closes with an
+    ``error`` status when the sweep raises.  Disabled cost is one global
+    read and a shared no-op context, exactly like :func:`span`.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SWEEP
+    return _sweep_span_enabled(tracer, name, attributes)
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ import io
 import json
 
 import numpy as np
+import pytest
 
 from repro.cli import main
 from repro.core.ctmdp import CTMDP
@@ -59,6 +60,42 @@ class TestSolverTracing:
         names = {s.name for s in tracer.spans}
         assert {"registry.get", "registry.build", "solver.prepare", "solver.solve"} <= names
 
+    def test_until_sweep_records_step_histogram(self):
+        """The until sweep shares the reachability instrumentation."""
+        from repro.core.until import timed_until
+
+        model = small_model()
+        safe = np.ones(3, dtype=bool)
+        goal = np.zeros(3, dtype=bool)
+        goal[1] = True
+        with tracing() as tracer:
+            result = timed_until(model, safe, goal, 2.0, epsilon=1e-8)
+        sweep = next(s for s in tracer.spans if s.name == "until.sweep")
+        steps = sweep.attributes["steps"]
+        assert steps["steps"] == result.iterations > 0
+        assert "histogram" in steps
+
+    def test_vi_sweep_records_step_histogram(self):
+        """MDP value iteration sweeps carry the same per-step summary."""
+        from repro.mdp.model import DTMDP
+        from repro.mdp.value_iteration import bounded_reachability, unbounded_reachability
+
+        mdp = DTMDP.from_transitions(
+            3,
+            [
+                (0, "a", {1: 0.5, 2: 0.5}),
+                (1, "b", {1: 1.0}),
+                (2, "c", {0: 1.0}),
+            ],
+        )
+        with tracing() as tracer:
+            bounded_reachability(mdp, [1], steps=7)
+            unbounded_reachability(mdp, [1])
+        sweeps = [s for s in tracer.spans if s.name == "vi.sweep"]
+        assert [s.attributes["kind"] for s in sweeps] == ["bounded", "unbounded"]
+        assert sweeps[0].attributes["steps"]["steps"] == 7
+        assert sweeps[1].attributes["steps"]["steps"] > 0
+
 
 class TestProfile:
     def test_profile_query_report(self):
@@ -84,6 +121,31 @@ class TestProfile:
         assert code == 0
         records = [json.loads(line) for line in trace.read_text().splitlines()]
         assert any(r["name"] == "reachability.sweep" for r in records)
+
+
+class TestProfileFanOut:
+    def test_worker_spans_merge_into_profile_trace(self):
+        """A process-pool profile run contains the worker-side sweep
+        spans, adopted into the parent trace under one trace id."""
+        report = profile_query(family="ftwc", t=10.0, ns=[1, 2], workers=2)
+        worker_spans = [
+            s for s in report.tracer.spans if "worker_pid" in s.attributes
+        ]
+        assert worker_spans, "no worker spans were adopted"
+        assert {s.attributes["worker_pid"] for s in worker_spans} != set()
+        sweep_spans = [s for s in worker_spans if s.name == "reachability.sweep"]
+        assert len(sweep_spans) == 2  # one per model group
+        records = report.tracer.as_dicts()
+        assert {r["trace_id"] for r in records} == {report.tracer.trace_id}
+        rendered = report.render()
+        assert "worker_pid=" in rendered
+
+    def test_profile_cli_with_workers(self, capsys):
+        code = main(
+            ["profile", "ftwc", "--ns", "1", "2", "--workers", "2", "--t", "10"]
+        )
+        assert code == 0
+        assert "worker_pid=" in capsys.readouterr().out
 
 
 class TestServeMetrics:
@@ -119,6 +181,138 @@ class TestServeMetrics:
             [json.dumps({"op": "metrics"}), json.dumps({"op": "shutdown"})]
         )
         assert "metrics" in json.loads(out[0])
+
+    def test_query_response_carries_certificate(self):
+        out = self._run(
+            [
+                json.dumps({"op": "query", "model": {"family": "ftwc", "n": 1}, "t": 5.0}),
+                json.dumps({"op": "shutdown"}),
+            ]
+        )
+        record = json.loads(out[0])
+        assert record["certificate"]["status"] == "ok"
+        assert record["certificate"]["error_bound"] >= 0.0
+
+
+class TestServeHttp:
+    def test_serve_starts_and_stops_http_listener(self):
+        import re
+        import urllib.request
+        from contextlib import redirect_stderr
+
+        from repro.engine.solver import QueryEngine
+
+        # Drive the loop manually: issue a query, scrape over HTTP while
+        # the loop is alive, then shut down and check the port is freed.
+        import threading
+
+        request_lines = [
+            json.dumps({"op": "query", "model": {"family": "ftwc", "n": 1}, "t": 5.0}),
+        ]
+
+        class _Feed:
+            """Blocking line source that releases lines on demand."""
+
+            def __init__(self):
+                self._lines = []
+                self._event = threading.Event()
+                self._closed = False
+
+            def push(self, line):
+                self._lines.append(line)
+                self._event.set()
+
+            def close(self):
+                self._closed = True
+                self._event.set()
+
+            def __iter__(self):
+                while True:
+                    self._event.wait()
+                    if self._lines:
+                        yield self._lines.pop(0) + "\n"
+                        if not self._lines:
+                            self._event.clear()
+                    elif self._closed:
+                        return
+
+        feed = _Feed()
+        sink = io.StringIO()
+        stderr = io.StringIO()
+        engine = QueryEngine()
+
+        def run():
+            with redirect_stderr(stderr):
+                serve(engine=engine, input_stream=feed, output_stream=sink,
+                      http_port=0)
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            for line in request_lines:
+                feed.push(line)
+            # Wait for the listener announcement, then scrape.
+            for _ in range(200):
+                match = re.search(r"http://[\d.]+:(\d+)", stderr.getvalue())
+                if match:
+                    break
+                thread.join(0.02)
+            assert match, "telemetry URL was never announced"
+            port = int(match.group(1))
+            for _ in range(200):
+                if "repro_queries_total_total 1" in urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=5.0
+                ).read().decode():
+                    break
+                thread.join(0.02)
+            health = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/healthz", timeout=5.0
+                ).read()
+            )
+            assert health["status"] == "ok"
+        finally:
+            feed.push(json.dumps({"op": "shutdown"}))
+            feed.close()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        import socket
+
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.5).close()
+
+
+class TestObsServerCli:
+    def test_obs_server_answers_workload_then_exits(self, tmp_path, capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps(
+                {
+                    "defaults": {"model": {"family": "ftwc", "n": 1}},
+                    "queries": [{"t": 5.0}, {"t": 10.0}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "obs-server", "--port", "0", "--queries", str(queries),
+                "--duration", "0", "--no-disk-cache",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "telemetry listening on http://127.0.0.1:" in err
+        assert "answered 2 queries (0 failed)" in err
+
+    def test_obs_server_rejects_bad_workload(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(
+            ["obs-server", "--port", "0", "--queries", str(bad),
+             "--duration", "0", "--no-disk-cache"]
+        )
+        assert code == 2
 
 
 class TestOverheadShape:

@@ -2,11 +2,21 @@
 
 import io
 import json
+import os
 
 import pytest
 
-from repro.obs import current_tracer, read_jsonl, span, summarize_durations, tracing
-from repro.obs.tracer import _NULL_SPAN
+from repro.obs import (
+    Tracer,
+    current_tracer,
+    read_jsonl,
+    reset_subprocess_tracer,
+    span,
+    summarize_durations,
+    sweep_span,
+    tracing,
+)
+from repro.obs.tracer import _NULL_SPAN, _NULL_SWEEP
 
 
 class TestDisabledPath:
@@ -89,6 +99,39 @@ class TestRecording:
         assert tracer.spans[0].wall_seconds >= 0.0
         assert current_tracer() is None
 
+    def test_exception_marks_span_status_error(self):
+        """Regression: a span left through an exception must be closed
+        with an ``error`` status and carry the exception summary, so
+        traces of failed queries are attributable."""
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with span("outer"):
+                    with span("failing"):
+                        raise ValueError("boom")
+        outer, failing = tracer.spans
+        assert failing.status == "error"
+        assert failing.attributes["error"] == "ValueError: boom"
+        # The error propagates through enclosing spans too.
+        assert outer.status == "error"
+        assert tracer.as_dicts()[1]["status"] == "error"
+        assert "!error" in tracer.render_tree()
+
+    def test_explicit_error_attribute_not_clobbered(self):
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("failing") as sp:
+                    sp.annotate(error="custom diagnosis")
+                    raise RuntimeError("ignored")
+        assert tracer.spans[0].status == "error"
+        assert tracer.spans[0].attributes["error"] == "custom diagnosis"
+
+    def test_successful_span_status_ok(self):
+        with tracing() as tracer:
+            with span("fine"):
+                pass
+        assert tracer.spans[0].status == "ok"
+        assert "!error" not in tracer.render_tree()
+
     def test_allocation_tracking(self):
         with tracing(track_allocations=True) as tracer:
             with span("alloc"):
@@ -151,6 +194,104 @@ class TestAggregationAndExport:
         record = tracer.as_dicts()[0]
         json.dumps(record)  # must not raise
         assert record["attributes"]["value"] == 0.5
+
+
+class TestCrossProcessIdentity:
+    def test_span_ids_are_process_qualified(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer, inner = tracer.spans
+        pid_hex = f"{os.getpid():x}"
+        assert outer.span_id == f"{tracer.trace_id}:{pid_hex}:0"
+        assert inner.parent_span_id == outer.span_id
+        records = tracer.as_dicts()
+        assert all(record["trace_id"] == tracer.trace_id for record in records)
+
+    def test_pinned_trace_id(self):
+        with tracing(trace_id="cafe0123") as tracer:
+            pass
+        assert tracer.trace_id == "cafe0123"
+
+    def test_adopt_remaps_indices_and_keeps_span_ids(self):
+        parent = Tracer()
+        with parent.span("parent.work"):
+            pass
+        worker = Tracer(trace_id=parent.trace_id)
+        with worker.span("worker.outer"):
+            with worker.span("worker.inner"):
+                pass
+        shipped = worker.as_dicts()
+
+        adopted = parent.adopt(
+            shipped, origin_epoch=worker.origin_epoch, attributes={"worker_pid": 4242}
+        )
+        assert [s.name for s in parent.spans] == [
+            "parent.work", "worker.outer", "worker.inner",
+        ]
+        outer, inner = adopted
+        assert inner.parent == outer.index  # remapped into the parent list
+        assert outer.span_id == shipped[0]["span_id"]  # stable id kept verbatim
+        assert outer.attributes["worker_pid"] == 4242
+        # One logical trace: adopted spans export under the parent id.
+        assert all(r["trace_id"] == parent.trace_id for r in parent.as_dicts())
+
+    def test_adopt_aligns_timelines(self):
+        parent = Tracer()
+        worker = Tracer(trace_id=parent.trace_id)
+        with worker.span("w"):
+            pass
+        offset = worker.origin_epoch - parent.origin_epoch
+        started_remote = worker.spans[0].started_at
+        (adopted,) = parent.adopt(
+            worker.as_dicts(), origin_epoch=worker.origin_epoch
+        )
+        assert adopted.started_at == pytest.approx(started_remote + offset)
+
+    def test_reset_subprocess_tracer_clears_inherited_state(self):
+        with tracing():
+            # Simulates the fork-inherited module global in a worker.
+            reset_subprocess_tracer()
+            assert current_tracer() is None
+            with tracing() as inner:  # workers re-activate their own
+                with span("w"):
+                    pass
+            assert len(inner.spans) == 1
+        assert current_tracer() is None
+
+
+class TestSweepSpan:
+    def test_disabled_returns_shared_null_sweep(self):
+        assert sweep_span("x.sweep", t=1.0) is _NULL_SWEEP
+        with sweep_span("x.sweep") as recorder:
+            assert recorder.enabled is False
+            recorder.record(0.5)  # must be a cheap no-op
+        with sweep_span("again") as recorder:
+            assert recorder.enabled is False
+
+    def test_enabled_attaches_step_summary(self):
+        with tracing() as tracer:
+            with sweep_span("test.sweep", t=2.0) as recorder:
+                assert recorder.enabled is True
+                for _ in range(4):
+                    recorder.record(0.001)
+        record = tracer.spans[0]
+        assert record.name == "test.sweep"
+        assert record.attributes["t"] == 2.0
+        steps = record.attributes["steps"]
+        assert steps["steps"] == 4
+        assert steps["p50_seconds"] == 0.001
+
+    def test_summary_attached_even_on_error(self):
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with sweep_span("test.sweep") as recorder:
+                    recorder.record(0.002)
+                    raise ValueError("mid-sweep")
+        record = tracer.spans[0]
+        assert record.status == "error"
+        assert record.attributes["steps"]["steps"] == 1
 
 
 class TestSummarizeDurations:
