@@ -138,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--ctmc", action="store_true",
         help="evaluate on the CTMC approximation of [13] instead",
     )
+    from repro.policy.options import add_save_policy_option
+
+    add_save_policy_option(query)
 
     sub.add_parser(
         "selfcheck",
@@ -192,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--timeout", type=float, default=None, help="per-query wall-clock budget (s)"
     )
+    add_save_policy_option(batch)
     _add_cache_arguments(batch)
 
     profile = sub.add_parser(
@@ -297,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(obs_server)
 
+    from repro.policy.cli import add_policy_parser
+
+    add_policy_parser(sub)
+
     return parser
 
 
@@ -382,15 +390,71 @@ def _cmd_check(args: argparse.Namespace) -> int:
         built = build_ctmdp(args.n)
         model, mask = built.ctmdp, built.goal_mask
     labels = {"no_premium": mask, "premium": ~mask}
-    result = check(args.query, model, labels, epsilon=args.epsilon)
+    result = check(
+        args.query, model, labels, epsilon=args.epsilon,
+        record_scheduler=bool(args.save_policy),
+    )
     print(result)
     if result.certificate is not None:
         print(result.certificate.describe())
+    if args.save_policy:
+        code = _save_check_policy(args, result, model)
+        if code != 0:
+            return code
     if result.satisfied is None:
         # Quantitative queries (P=?) compute a value but no verdict; do
         # not conflate "no verdict" with "satisfied" (exit 0).
         return 3
     return 0 if result.satisfied else 1
+
+
+def _save_check_policy(args: argparse.Namespace, result, model) -> int:
+    """Persist the scheduler a ``repro check --save-policy`` run recorded."""
+    from repro.engine import ModelRegistry, default_cache_dir
+    from repro.engine.keys import model_key, normalize_spec
+    from repro.errors import ReproError
+    from repro.policy.artifact import PolicyArtifact
+    from repro.policy.options import save_policy_artifacts
+
+    solver_result = getattr(result, "solver_result", None)
+    if solver_result is None or solver_result.decisions is None:
+        print(
+            "--save-policy: this query records no scheduler "
+            "(CTMC model or untimed/steady-state query)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = normalize_spec({"family": "ftwc", "n": args.n})
+    path = result.query.path
+    meta = {
+        "model_key": model_key(spec),
+        "model": dict(spec),
+        "objective": solver_result.objective,
+        "goal": path.goal.label,
+        "t": solver_result.time_bound,
+        "epsilon": args.epsilon,
+        "value": result.value,
+        "initial": int(model.initial),
+    }
+    safe = getattr(path, "safe", None)
+    if safe is not None and not safe.is_true:
+        meta["safe"] = safe.label
+    artifact = PolicyArtifact(
+        decisions=solver_result.decisions,
+        meta=meta,
+        certificate=solver_result.certificate,
+    )
+    registry = None
+    if args.save_policy == "registry":
+        registry = ModelRegistry(cache_dir=str(default_cache_dir()))
+    try:
+        records = save_policy_artifacts(args.save_policy, [artifact], registry)
+    except (ReproError, OSError) as exc:
+        print(f"--save-policy failed: {exc}", file=sys.stderr)
+        return 2
+    for record in records:
+        print(f"saved policy {record['key'][:16]} -> {record['path']}", file=sys.stderr)
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -513,11 +577,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     engine = _make_engine(args)
     try:
-        batch = engine.run_dicts(records, defaults=defaults)
+        batch = engine.run_dicts(
+            records, defaults=defaults, record_schedulers=bool(args.save_policy)
+        )
     except ModelError as exc:
         print(f"invalid batch defaults: {exc}", file=sys.stderr)
         return 2
-    rendered = json.dumps(batch.as_dict(), indent=1)
+    document = batch.as_dict()
+    if args.save_policy:
+        from repro.errors import ReproError
+        from repro.policy.options import save_policy_artifacts
+
+        artifacts = [
+            result.policy for result in batch.results if result.policy is not None
+        ]
+        try:
+            stored = save_policy_artifacts(
+                args.save_policy, artifacts, engine.registry
+            )
+        except (ReproError, OSError) as exc:
+            print(f"--save-policy failed: {exc}", file=sys.stderr)
+            return 2
+        document["policies"] = stored
+        print(f"stored {len(stored)} polic(y/ies)", file=sys.stderr)
+    rendered = json.dumps(document, indent=1)
     if args.out:
         Path(args.out).write_text(rendered + "\n", encoding="utf-8")
         print(f"wrote {args.out} ({len(batch.results)} results)", file=sys.stderr)
@@ -626,6 +709,12 @@ def _cmd_obs_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.policy.cli import cmd_policy
+
+    return cmd_policy(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -654,6 +743,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "obs-server": _cmd_obs_server,
+        "policy": _cmd_policy,
     }
     return handlers[args.command](args)
 

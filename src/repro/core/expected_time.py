@@ -24,6 +24,7 @@ States violating the respective condition are reported as ``inf``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -32,8 +33,21 @@ from repro.core.ctmdp import CTMDP
 from repro.core.qualitative import almost_sure_max, almost_sure_min
 from repro.core.reachability import _goal_mask
 from repro.errors import ModelError, NonUniformError
+from repro.obs import NumericalCertificate, iterative_certificate
 
-__all__ = ["expected_reachability_time"]
+__all__ = [
+    "ExpectedTimeResult",
+    "expected_reachability_time",
+    "expected_time_analysis",
+]
+
+
+@dataclass(frozen=True)
+class ExpectedTimeResult:
+    """Expected-time values plus their numerical-health certificate."""
+
+    values: np.ndarray
+    certificate: NumericalCertificate
 
 
 def _proper_initial_policy(
@@ -73,11 +87,36 @@ def expected_reachability_time(
 ) -> np.ndarray:
     """Optimal expected time, per state, until ``goal`` is first hit.
 
+    Kept for callers that only want the bare value vector; delegates to
+    :func:`expected_time_analysis` so both paths are bitwise-identical.
+    """
+    return expected_time_analysis(
+        ctmdp, goal, objective=objective, max_policy_iterations=max_policy_iterations
+    ).values
+
+
+def expected_time_analysis(
+    ctmdp: CTMDP,
+    goal: Iterable[int] | np.ndarray,
+    objective: str = "min",
+    max_policy_iterations: int = 10_000,
+    tolerance: float = 1e-9,
+) -> ExpectedTimeResult:
+    """Optimal expected time, per state, until ``goal`` is first hit.
+
     Solved by *policy iteration*: policies are evaluated exactly through
     a sparse linear solve of ``(I - P_policy) v = 1/E`` on the finite
     non-goal states, then improved greedily; for positive step costs and
     a proper initial policy this terminates in finitely many steps with
     the exact optimum (no value-iteration convergence tail).
+
+    The certificate (algorithm ``"ctmdp.expected_time"``, via
+    :func:`repro.obs.iterative_certificate`) records the a-posteriori
+    Bellman residual of the returned values over the finite solve
+    states, scaled by the largest finite value -- at a true policy-
+    iteration fixed point this is floating-point noise, and a residual
+    above ``tolerance`` (e.g. the ``max_policy_iterations`` safety bound
+    tripping first) marks the certificate degraded.
 
     Parameters
     ----------
@@ -89,19 +128,26 @@ def expected_reachability_time(
         ``"min"`` (best-case hitting time) or ``"max"`` (worst case).
     max_policy_iterations:
         Safety bound; policy iteration terminates far earlier.
+    tolerance:
+        Admissible scaled Bellman residual for a healthy certificate.
 
     Returns
     -------
-    numpy.ndarray
-        Expected times; ``inf`` where the respective finiteness
-        condition fails (see module docstring).
+    ExpectedTimeResult
+        Expected times (``inf`` where the respective finiteness
+        condition fails, see module docstring) plus the certificate.
     """
     if objective not in ("max", "min"):
         raise ModelError(f"objective must be 'max' or 'min', got {objective!r}")
     mask = _goal_mask(ctmdp, goal)
     n = ctmdp.num_states
     if not mask.any():
-        return np.full(n, np.inf)
+        return ExpectedTimeResult(
+            values=np.full(n, np.inf),
+            certificate=iterative_certificate(
+                "ctmdp.expected_time", epsilon=tolerance, residual=0.0, iterations=0
+            ),
+        )
 
     rate = ctmdp.uniform_rate()
     if rate <= 0.0:
@@ -128,7 +174,12 @@ def expected_reachability_time(
     if len(solve_states) == 0:
         v = np.full(n, np.inf)
         v[mask] = 0.0
-        return v
+        return ExpectedTimeResult(
+            values=v,
+            certificate=iterative_certificate(
+                "ctmdp.expected_time", epsilon=tolerance, residual=0.0, iterations=0
+            ),
+        )
     position = -np.ones(n, dtype=np.int64)
     position[solve_states] = np.arange(len(solve_states))
 
@@ -137,11 +188,35 @@ def expected_reachability_time(
     infinite_vec = (~finite).astype(np.float64)
     touches_infinite = np.asarray(prob @ infinite_vec).ravel() > 0.0
 
+    def _bellman_residual(v: np.ndarray, iterations: int) -> "NumericalCertificate":
+        """Certificate from the a-posteriori Bellman defect at ``v``."""
+        finite_v = np.where(np.isfinite(v), v, 0.0)
+        values = step + np.asarray(prob @ finite_v).ravel()
+        values[touches_infinite] = np.inf
+        worst = 0.0
+        for state in solve_states:
+            lo, hi = ctmdp.choice_ptr[state], ctmdp.choice_ptr[state + 1]
+            candidates = values[lo:hi]
+            if objective == "max":
+                usable = np.where(np.isfinite(candidates), candidates, -np.inf)
+                best = float(usable.max())
+            else:
+                best = float(candidates.min())
+            worst = max(worst, abs(float(v[state]) - best))
+        finite_vals = v[np.isfinite(v)]
+        scale = max(1.0, float(np.abs(finite_vals).max()) if len(finite_vals) else 1.0)
+        return iterative_certificate(
+            "ctmdp.expected_time",
+            epsilon=tolerance,
+            residual=worst / scale,
+            iterations=iterations,
+        )
+
     policy = _proper_initial_policy(ctmdp, mask, finite)
 
     v = np.full(n, np.inf)
     v[mask] = 0.0
-    for _ in range(max_policy_iterations):
+    for iteration in range(max_policy_iterations):
         # --- Evaluate the current policy exactly. ---------------------
         rows = ctmdp.choice_ptr[solve_states] + policy[solve_states]
         p_policy = prob[rows]  # len(solve) x n
@@ -178,5 +253,9 @@ def expected_reachability_time(
                 policy[state] = best
                 improved = True
         if not improved:
-            return v
-    return v
+            return ExpectedTimeResult(
+                values=v, certificate=_bellman_residual(v, iteration + 1)
+            )
+    return ExpectedTimeResult(
+        values=v, certificate=_bellman_residual(v, max_policy_iterations)
+    )

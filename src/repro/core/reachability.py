@@ -54,13 +54,34 @@ from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import FoxGlynn, fox_glynn
 from repro.obs import NumericalCertificate, certificate_from_foxglynn, sweep_span
 
+# The compressed decision store depends on numpy only (never on the core
+# solvers), so importing it here cannot cycle; the rest of repro.policy
+# *does* import this module and stays behind lazy attributes.
+from repro.policy.store import CompressedDecisions, PolicyWriter
+
 __all__ = [
     "ReachabilityResult",
     "PreparedTimedReachability",
     "timed_reachability",
     "unbounded_reachability",
     "evaluate_step_scheduler",
+    "replay_step_scheduler",
 ]
+
+#: Decision-recording formats accepted by ``scheduler_format=``:
+#: ``"compressed"`` streams rows into a :class:`CompressedDecisions`
+#: store as the sweep runs (the default -- peak memory no longer scales
+#: as ``iterations x states``); ``"dense"`` keeps the historical int32
+#: matrix and exists for the bitwise equivalence tests.
+SCHEDULER_FORMATS = ("compressed", "dense")
+
+
+def _validate_scheduler_format(scheduler_format: str) -> None:
+    if scheduler_format not in SCHEDULER_FORMATS:
+        raise ModelError(
+            f"scheduler_format must be one of {', '.join(SCHEDULER_FORMATS)}, "
+            f"got {scheduler_format!r}"
+        )
 
 
 @dataclass
@@ -86,7 +107,10 @@ class ReachabilityResult:
     decisions:
         Optional step-indexed optimal scheduler: ``decisions[i - 1][s]``
         is the index (within ``transitions_of(s)``) chosen at step ``i``,
-        or ``-1`` where no choice exists.  Only recorded on request.
+        or ``-1`` where no choice exists.  Only recorded on request; a
+        :class:`~repro.policy.store.CompressedDecisions` store by
+        default (row-indexable like the historical dense array), the
+        dense int32 matrix under ``scheduler_format="dense"``.
     certificate:
         The numerical-health certificate of this solve: truncation
         accounting, sweep residual and the certified a-posteriori error
@@ -99,7 +123,7 @@ class ReachabilityResult:
     time_bound: float
     objective: str
     poisson: FoxGlynn
-    decisions: np.ndarray | None = None
+    decisions: np.ndarray | CompressedDecisions | None = None
     certificate: NumericalCertificate | None = None
 
     def value(self, state: int) -> float:
@@ -182,9 +206,18 @@ class PreparedTimedReachability:
         epsilon: float = 1e-6,
         objective: str = "max",
         record_scheduler: bool = False,
+        scheduler_format: str = "compressed",
     ) -> ReachabilityResult:
-        """Solve one time bound against the prepared model/goal pair."""
+        """Solve one time bound against the prepared model/goal pair.
+
+        With ``record_scheduler`` the optimal step scheduler is recorded
+        as the sweep runs; ``scheduler_format`` picks the representation
+        (see :data:`SCHEDULER_FORMATS`).  The compressed default streams
+        each decision row into a run-length/delta store, so the dense
+        ``iterations x states`` matrix is never materialised.
+        """
         validate_objective(objective)
+        _validate_scheduler_format(scheduler_format)
         if t < 0.0:
             raise ModelError("time bound must be non-negative")
         num_states = self.num_states
@@ -202,9 +235,18 @@ class PreparedTimedReachability:
         nonempty = segments.nonempty
         goal_idx = self.goal_idx
 
-        decisions = None
+        dense_decisions: np.ndarray | None = None
+        writer: PolicyWriter | None = None
+        decision_row: np.ndarray | None = None
         if record_scheduler:
-            decisions = np.full((k, num_states), -1, dtype=np.int32)
+            if scheduler_format == "dense":
+                dense_decisions = np.full((k, num_states), -1, dtype=np.int32)
+            else:
+                # The sweep runs backwards (row k-1 is produced first), so
+                # the writer stores rows in arrival order and flags the
+                # orientation instead of buffering the whole table.
+                writer = PolicyWriter(num_states=num_states, reverse_rows=True)
+                decision_row = np.full(num_states, -1, dtype=np.int32)
 
         with sweep_span(
             "reachability.sweep",
@@ -225,16 +267,26 @@ class PreparedTimedReachability:
                 new_q = np.zeros(num_states)
                 new_q[nonempty] = best
                 new_q[goal_idx] = psi_i + q[goal_idx]
-                if decisions is not None:
+                if record_scheduler:
                     # First transition attaining the optimum within each
                     # segment, with the tie tolerance on the side that
                     # matches the objective (cf. segment_argbest).
-                    decisions[i - 1, nonempty] = segment_argbest(
+                    argbest = segment_argbest(
                         transition_values, best, segments, objective
                     ).astype(np.int32)
+                    if dense_decisions is not None:
+                        dense_decisions[i - 1, nonempty] = argbest
+                    else:
+                        assert writer is not None and decision_row is not None
+                        decision_row[nonempty] = argbest
+                        writer.append(decision_row)
                 q = new_q
                 if record_steps:
                     steps.record(perf_counter() - step_started)
+
+        decisions: np.ndarray | CompressedDecisions | None = dense_decisions
+        if writer is not None:
+            decisions = writer.finish()
 
         values = q.copy()
         values[goal_idx] = 1.0
@@ -262,6 +314,7 @@ def timed_reachability(
     epsilon: float = 1e-6,
     objective: str = "max",
     record_scheduler: bool = False,
+    scheduler_format: str = "compressed",
 ) -> ReachabilityResult:
     """Run Algorithm 1 on a uniform CTMDP.
 
@@ -283,49 +336,110 @@ def timed_reachability(
         best-case (inf).
     record_scheduler:
         If true, record the optimising transition per state and step.
-        Memory is ``iterations x num_states`` 32-bit integers; for the
-        long FTWC horizons this is large, hence off by default.
+    scheduler_format:
+        ``"compressed"`` (default) streams the decisions into a
+        :class:`~repro.policy.store.CompressedDecisions` store during
+        the sweep; ``"dense"`` keeps the historical
+        ``iterations x num_states`` int32 matrix (large for the long
+        FTWC horizons -- it exists for the equivalence tests).
 
     Returns
     -------
     ReachabilityResult
     """
     return PreparedTimedReachability(ctmdp, goal).solve(
-        t, epsilon=epsilon, objective=objective, record_scheduler=record_scheduler
+        t,
+        epsilon=epsilon,
+        objective=objective,
+        record_scheduler=record_scheduler,
+        scheduler_format=scheduler_format,
     )
 
 
-def evaluate_step_scheduler(
+def _replay_rows(
+    decisions: np.ndarray | CompressedDecisions, right: int
+) -> Iterable[np.ndarray]:
+    """Decision rows for backward indices ``i = right .. 1``.
+
+    Backward step ``i`` reads logical row ``min(i - 1, steps - 1)``:
+    steps beyond the recorded horizon reuse the last row.  For a
+    :class:`CompressedDecisions` store this walks
+    :meth:`~CompressedDecisions.iter_rows_reversed` -- each delta is
+    decoded exactly once and the dense table is never materialised
+    (for the backward-written stores of ``record_scheduler=True`` the
+    reversed logical order *is* the physical order).
+    """
+    steps = len(decisions)
+    if isinstance(decisions, CompressedDecisions):
+        source = decisions.iter_rows_reversed()
+        row = next(source)
+        for _ in range(steps - right):
+            row = next(source)  # recorded horizon longer: top rows unused
+        for _ in range(max(0, right - steps)):
+            yield row  # beyond the horizon: hold the last recorded row
+        yield row
+        for row in source:
+            yield row
+    else:
+        for i in range(right, 0, -1):
+            yield decisions[min(i - 1, steps - 1)]
+
+
+def replay_step_scheduler(
     ctmdp: CTMDP,
     goal: Iterable[int] | np.ndarray,
     t: float,
-    decisions: np.ndarray,
+    decisions: np.ndarray | CompressedDecisions,
     epsilon: float = 1e-6,
-) -> np.ndarray:
-    """Exact per-state value of a recorded step scheduler.
+    safe: Iterable[int] | np.ndarray | None = None,
+) -> ReachabilityResult:
+    """Exact per-state value of a recorded step scheduler, certified.
 
     Replays the Poisson-weighted backward recursion of Algorithm 1 with
     the optimisation replaced by the *fixed* choices of ``decisions``
-    (the array a ``record_scheduler=True`` solve produces: row ``i - 1``
+    (what a ``record_scheduler=True`` solve produces: row ``i - 1``
     holds the per-state transition index used at backward step ``i``).
     Steps beyond the recorded horizon reuse the last row and ``-1``
     entries (states without a recorded choice) fall back to the first
     transition, matching :class:`~repro.core.scheduler.StepScheduler`.
+    With ``safe`` the replay computes the until value ``safe U^{<=t}
+    goal`` under the fixed scheduler (states outside ``safe + goal``
+    are blocked at zero), mirroring :func:`repro.core.until.timed_until`.
 
-    This is the analytic counterpart of simulating the scheduler: if
-    ``decisions`` came from an optimal solve with the same ``epsilon``,
-    the returned values must reproduce the optimal values -- the
-    regression anchor for the scheduler-extraction direction fix.
+    Compressed stores are replayed *streaming* -- rows are decoded in
+    the sweep's own backward order, so replay memory matches extraction
+    memory.  The result carries ``objective="replay"`` (no optimisation
+    happened) and a :class:`~repro.obs.NumericalCertificate` with
+    algorithm ``"ctmdp.replay"``; induced-chain validation
+    (:mod:`repro.policy.validate`) consumes both.
     """
     if t < 0.0:
         raise ModelError("time bound must be non-negative")
     prepared = PreparedTimedReachability(ctmdp, goal)
+    blocked: np.ndarray | None = None
+    if safe is not None:
+        blocked = ~(_goal_mask(ctmdp, safe) | prepared.mask)
     if t == 0.0 or not prepared._ready:
-        return prepared.mask.astype(np.float64)
-    decisions = np.asarray(decisions)
-    if decisions.ndim != 2 or decisions.shape[1] != ctmdp.num_states:
+        return ReachabilityResult(
+            values=prepared.mask.astype(np.float64),
+            iterations=0,
+            uniform_rate=prepared.rate if prepared._ready else 0.0,
+            time_bound=t,
+            objective="replay",
+            poisson=fox_glynn(0.0, min(epsilon, 0.5)),
+            certificate=NumericalCertificate.trivial("ctmdp.replay", epsilon),
+        )
+    if not isinstance(decisions, CompressedDecisions):
+        decisions = np.asarray(decisions)
+        if decisions.ndim != 2 or decisions.shape[1] != ctmdp.num_states:
+            raise ModelError(
+                f"decisions must have shape (steps, {ctmdp.num_states}), "
+                f"got {decisions.shape}"
+            )
+    elif decisions.num_states != ctmdp.num_states:
         raise ModelError(
-            f"decisions must have shape (steps, {ctmdp.num_states}), got {decisions.shape}"
+            f"decisions cover {decisions.num_states} states, "
+            f"model has {ctmdp.num_states}"
         )
     if len(decisions) == 0:
         raise ModelError("decisions must record at least one step")
@@ -339,21 +453,56 @@ def evaluate_step_scheduler(
     prob_to_goal = prepared.prob_to_goal
 
     q = np.zeros(ctmdp.num_states)
+    rows_iter = iter(_replay_rows(decisions, fg.right))
     for i in range(fg.right, 0, -1):
         psi_i = psi[i - fg.left] if i >= fg.left else 0.0
         transition_values = psi_i * prob_to_goal + prob @ q
-        row = min(i - 1, len(decisions) - 1)
-        choice = np.clip(decisions[row][nonempty_states], 0, segments.counts - 1)
+        decision_row = next(rows_iter)
+        choice = np.clip(decision_row[nonempty_states], 0, segments.counts - 1)
         rows = segments.starts + choice
         new_q = np.zeros(ctmdp.num_states)
         new_q[segments.nonempty] = transition_values[rows]
         new_q[goal_idx] = psi_i + q[goal_idx]
+        if blocked is not None:
+            new_q[blocked] = 0.0
         q = new_q
 
     values = q.copy()
     values[goal_idx] = 1.0
+    if blocked is not None:
+        values[blocked] = 0.0
+    residual = max(0.0, float(values.max()) - 1.0, -float(values.min()))
     np.clip(values, 0.0, 1.0, out=values)
-    return values
+    return ReachabilityResult(
+        values=values,
+        iterations=fg.right,
+        uniform_rate=prepared.rate,
+        time_bound=t,
+        objective="replay",
+        poisson=fg,
+        certificate=certificate_from_foxglynn(
+            fg, epsilon, "ctmdp.replay", sweep_residual=residual
+        ),
+    )
+
+
+def evaluate_step_scheduler(
+    ctmdp: CTMDP,
+    goal: Iterable[int] | np.ndarray,
+    t: float,
+    decisions: np.ndarray | CompressedDecisions,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Exact per-state value of a recorded step scheduler.
+
+    Thin wrapper over :func:`replay_step_scheduler` keeping the
+    historical value-vector return shape.  This is the analytic
+    counterpart of simulating the scheduler: if ``decisions`` came from
+    an optimal solve with the same ``epsilon``, the returned values must
+    reproduce the optimal values -- the regression anchor for the
+    scheduler-extraction direction fix.
+    """
+    return replay_step_scheduler(ctmdp, goal, t, decisions, epsilon=epsilon).values
 
 
 def unbounded_reachability(

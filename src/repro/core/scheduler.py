@@ -129,5 +129,13 @@ def greedy_scheduler_from_decisions(decisions: np.ndarray) -> StepScheduler:
     ``i - 1``; forward execution after ``j`` jumps is governed by
     backward index ``j + 1``, i.e. row ``j`` -- so the recorded array can
     be used directly by :class:`StepScheduler`.
+
+    Accepts both the dense int32 matrix and the compressed store of
+    ``record_scheduler=True`` solves: anything exposing ``len()`` and
+    ``decisions[row][state]`` passes through without densification
+    (:class:`~repro.policy.store.CompressedDecisions` does), so wrapping
+    a 62k-step policy stays cheap.
     """
-    return StepScheduler(decisions=np.asarray(decisions, dtype=np.int32))
+    if isinstance(decisions, np.ndarray) or not hasattr(decisions, "row"):
+        decisions = np.asarray(decisions, dtype=np.int32)
+    return StepScheduler(decisions=decisions)

@@ -25,11 +25,21 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.ctmdp import CTMDP
-from repro.core.reachability import ReachabilityResult, _goal_mask
-from repro.core.segments import SegmentIndex, segment_reduce, validate_objective
+from repro.core.reachability import (
+    ReachabilityResult,
+    _goal_mask,
+    _validate_scheduler_format,
+)
+from repro.core.segments import (
+    SegmentIndex,
+    segment_argbest,
+    segment_reduce,
+    validate_objective,
+)
 from repro.errors import ModelError, NonUniformError
 from repro.numerics.foxglynn import fox_glynn
 from repro.obs import NumericalCertificate, certificate_from_foxglynn, sweep_span
+from repro.policy.store import CompressedDecisions, PolicyWriter
 
 __all__ = ["timed_until"]
 
@@ -41,6 +51,8 @@ def timed_until(
     t: float,
     epsilon: float = 1e-6,
     objective: str = "max",
+    record_scheduler: bool = False,
+    scheduler_format: str = "compressed",
 ) -> ReachabilityResult:
     """Optimal probability of ``safe U^{<=t} goal`` per state.
 
@@ -59,6 +71,14 @@ def timed_until(
         Poisson truncation error.
     objective:
         ``"max"`` or ``"min"`` over schedulers.
+    record_scheduler:
+        If true, record the optimising transition per state and step
+        (the same shape Algorithm 1's reachability extraction produces;
+        decisions at blocked states are recorded but irrelevant -- their
+        value is pinned to zero whatever is chosen).
+    scheduler_format:
+        ``"compressed"`` (default) or ``"dense"``; see
+        :func:`repro.core.reachability.timed_reachability`.
 
     Returns
     -------
@@ -67,6 +87,7 @@ def timed_until(
         (neither safe nor goal) carry zero.
     """
     validate_objective(objective)
+    _validate_scheduler_format(scheduler_format)
     if t < 0.0:
         raise ModelError("time bound must be non-negative")
     goal_mask = _goal_mask(ctmdp, goal)
@@ -102,6 +123,17 @@ def timed_until(
     segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
 
     goal_idx = np.flatnonzero(goal_mask)
+
+    dense_decisions: np.ndarray | None = None
+    writer: PolicyWriter | None = None
+    decision_row: np.ndarray | None = None
+    if record_scheduler:
+        if scheduler_format == "dense":
+            dense_decisions = np.full((fg.right, ctmdp.num_states), -1, dtype=np.int32)
+        else:
+            writer = PolicyWriter(num_states=ctmdp.num_states, reverse_rows=True)
+            decision_row = np.full(ctmdp.num_states, -1, dtype=np.int32)
+
     with sweep_span(
         "until.sweep",
         t=t,
@@ -116,13 +148,28 @@ def timed_until(
             step_started = perf_counter() if record_steps else 0.0
             psi_i = psi[i - fg.left] if i >= fg.left else 0.0
             transition_values = psi_i * prob_to_goal + prob @ q
+            best = segment_reduce(transition_values, segments, objective)
             new_q = np.zeros(ctmdp.num_states)
-            new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
+            new_q[segments.nonempty] = best
             new_q[goal_idx] = psi_i + q[goal_idx]
             new_q[blocked] = 0.0  # entering a non-safe state loses the game
+            if record_scheduler:
+                argbest = segment_argbest(
+                    transition_values, best, segments, objective
+                ).astype(np.int32)
+                if dense_decisions is not None:
+                    dense_decisions[i - 1, segments.nonempty] = argbest
+                else:
+                    assert writer is not None and decision_row is not None
+                    decision_row[segments.nonempty] = argbest
+                    writer.append(decision_row)
             q = new_q
             if record_steps:
                 steps.record(perf_counter() - step_started)
+
+    decisions: np.ndarray | CompressedDecisions | None = dense_decisions
+    if writer is not None:
+        decisions = writer.finish()
 
     values = q.copy()
     values[goal_idx] = 1.0
@@ -136,6 +183,7 @@ def timed_until(
         time_bound=t,
         objective=objective,
         poisson=fg,
+        decisions=decisions,
         certificate=certificate_from_foxglynn(
             fg, epsilon, "ctmdp.until", sweep_residual=residual
         ),

@@ -19,7 +19,11 @@ import scipy.sparse as sp
 from repro.ctmc.model import CTMC
 from repro.errors import ModelError
 from repro.numerics.foxglynn import fox_glynn
-from repro.obs import NumericalCertificate, certificate_from_foxglynn
+from repro.obs import (
+    NumericalCertificate,
+    certificate_from_foxglynn,
+    iterative_certificate,
+)
 
 __all__ = [
     "uniformize",
@@ -27,6 +31,8 @@ __all__ = [
     "TransientResult",
     "transient_analysis",
     "transient_distribution",
+    "SteadyStateResult",
+    "steady_state_analysis",
     "steady_state_distribution",
 ]
 
@@ -171,12 +177,25 @@ def transient_distribution(
     ).distribution
 
 
-def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
-    """Long-run distribution of an irreducible CTMC.
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Steady-state distribution plus its numerical-health certificate."""
+
+    distribution: np.ndarray
+    certificate: NumericalCertificate
+
+
+def steady_state_analysis(ctmc: CTMC, tolerance: float = 1e-9) -> SteadyStateResult:
+    """Long-run distribution of an irreducible CTMC, certified.
 
     Solves ``pi Q = 0`` with ``sum(pi) = 1`` where ``Q`` is the generator
     implied by the rate matrix (self-loops cancel in ``Q`` and therefore
-    do not affect the result).
+    do not affect the result).  The certificate (algorithm
+    ``"ctmc.steady_state"``, via :func:`repro.obs.iterative_certificate`)
+    measures the *a-posteriori* defect of the returned vector: the
+    balance residual ``||pi Q||_inf`` plus the negativity clipped away,
+    with the pre-normalisation mass defect as the deficit term; it is
+    healthy iff that residual stays within ``tolerance``.
 
     Raises
     ------
@@ -192,11 +211,31 @@ def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
     a = np.vstack([q.T[:-1], np.ones(n)])
     b = np.zeros(n)
     b[-1] = 1.0
-    solution, residual, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+    solution, _lstsq_residual, rank, _ = np.linalg.lstsq(a, b, rcond=None)
     if rank < n:
         raise ModelError("steady-state distribution requires an irreducible chain")
+    clipped_negativity = max(0.0, -float(solution.min()))
+    mass_defect = abs(1.0 - float(solution.sum()))
     pi = np.clip(solution, 0.0, None)
     total = pi.sum()
     if total <= 0.0:
         raise ModelError("steady-state solve produced a degenerate distribution")
-    return pi / total
+    pi = pi / total
+    balance = float(np.max(np.abs(pi @ q))) if n else 0.0
+    certificate = iterative_certificate(
+        "ctmc.steady_state",
+        epsilon=tolerance,
+        residual=balance + clipped_negativity,
+        iterations=n,
+        deficit=mass_defect,
+    )
+    return SteadyStateResult(distribution=pi, certificate=certificate)
+
+
+def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
+    """Long-run distribution of an irreducible CTMC.
+
+    Kept for callers that only want the bare vector; delegates to
+    :func:`steady_state_analysis` so both paths are bitwise-identical.
+    """
+    return steady_state_analysis(ctmc).distribution

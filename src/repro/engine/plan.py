@@ -117,6 +117,9 @@ class QueryGroup:
     goal: str
     objective: str
     members: list[tuple[int, Query]] = field(default_factory=list)
+    #: Record each CTMDP solve's optimal step scheduler (compressed) and
+    #: attach it to the query result as a policy artifact.
+    record_schedulers: bool = False
 
     @property
     def time_bounds(self) -> list[float]:
@@ -124,13 +127,18 @@ class QueryGroup:
         return [query.t for _index, query in self.members]
 
 
-def plan_queries(queries: Iterable[Query] | Sequence[Query]) -> list[QueryGroup]:
+def plan_queries(
+    queries: Iterable[Query] | Sequence[Query],
+    record_schedulers: bool = False,
+) -> list[QueryGroup]:
     """Group a batch by shared setup and sort each group by time bound.
 
     The returned groups are ordered deterministically (by model key,
     goal, objective); each group's members are sorted ascending by
     ``(t, batch index)``.  Batch indices refer to positions in the input
     iterable, letting callers restore the original order of results.
+    With ``record_schedulers`` every group asks its CTMDP solves to
+    extract the optimal step scheduler alongside the probability.
     """
     groups: dict[tuple[str, str, str], QueryGroup] = {}
     for index, query in enumerate(queries):
@@ -143,6 +151,7 @@ def plan_queries(queries: Iterable[Query] | Sequence[Query]) -> list[QueryGroup]
                 spec=dict(query.model),
                 goal=query.goal,
                 objective=query.objective,
+                record_schedulers=record_schedulers,
             )
             groups[group_id] = group
         group.members.append((index, query))

@@ -296,6 +296,76 @@ class ModelRegistry:
             source="disk",
         )
 
+    # ------------------------------------------------------------------
+    # Policy artifacts
+    # ------------------------------------------------------------------
+    # Extracted schedulers are content-addressed artifacts in their own
+    # right (see :mod:`repro.policy.artifact`); the registry persists
+    # them next to the models they were extracted from, under
+    # ``<cache_dir>/policies/<policy_key>.rpol``.  Imports are lazy:
+    # the policy package depends on the core solvers and most registry
+    # users never touch policies.
+
+    def _policy_dir(self) -> Path:
+        if self.cache_dir is None:
+            raise ModelError(
+                "policy persistence needs a registry cache directory "
+                "(this registry is memory-only)"
+            )
+        return self.cache_dir / "policies"
+
+    def policy_path(self, key: str) -> Path:
+        """Where the policy with content address ``key`` lives on disk."""
+        return self._policy_dir() / f"{key}.rpol"
+
+    def store_policy(self, artifact: "Any") -> Path:
+        """Persist a :class:`~repro.policy.artifact.PolicyArtifact`.
+
+        Returns the on-disk path.  Idempotent: the file is named after
+        the artifact's content hash, so storing the same policy twice
+        rewrites identical bytes.
+        """
+        from repro.policy.artifact import save_artifact
+
+        path = self.policy_path(artifact.key)
+        with self.metrics.timer("policy_write_seconds"):
+            save_artifact(artifact, path)
+        self.metrics.count("policies_stored")
+        return path
+
+    def load_policy(self, key: str) -> "Any":
+        """Load a stored policy by content address (memory-mapped)."""
+        from repro.policy.artifact import load_artifact
+
+        path = self.policy_path(key)
+        if not path.exists():
+            raise ModelError(f"no stored policy with key {key!r}")
+        with self.metrics.timer("policy_load_seconds"):
+            artifact = load_artifact(path)
+        self.metrics.count("policies_loaded")
+        return artifact
+
+    def list_policies(self) -> list[dict[str, Any]]:
+        """Headers of every stored policy (cheap: no arrays are read)."""
+        from repro.policy.artifact import read_header
+
+        directory = self._policy_dir()
+        if not directory.is_dir():
+            return []
+        records: list[dict[str, Any]] = []
+        for path in sorted(directory.glob("*.rpol")):
+            try:
+                header = read_header(path)
+            except ModelError:
+                continue  # a corrupt artifact hides, it does not crash listings
+            records.append({
+                "key": path.stem,
+                "path": str(path),
+                "meta": header["meta"],
+                "layout": header["layout"],
+            })
+        return records
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = str(self.cache_dir) if self.cache_dir is not None else "memory-only"
         return f"ModelRegistry({len(self._memory)} in memory, cache={where})"

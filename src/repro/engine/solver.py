@@ -108,6 +108,9 @@ class QueryResult:
     cache: str | None = None
     error: str | None = None
     certificate: NumericalCertificate | None = None
+    #: The extracted scheduler (a :class:`repro.policy.PolicyArtifact`)
+    #: when the batch ran with ``record_schedulers``; ``None`` otherwise.
+    policy: Any = None
 
     @property
     def ok(self) -> bool:
@@ -115,8 +118,13 @@ class QueryResult:
         return self.error is None
 
     def as_dict(self) -> dict[str, Any]:
-        """JSON-compatible record (the shape ``repro batch`` emits)."""
-        return {
+        """JSON-compatible record (the shape ``repro batch`` emits).
+
+        The ``policy`` key (the artifact's summary) appears only when a
+        scheduler was recorded, keeping the historical record shape
+        byte-stable for every other batch.
+        """
+        record = {
             "index": self.index,
             "query": self.query.as_dict() if self.query is not None else None,
             "value": self.value,
@@ -129,6 +137,9 @@ class QueryResult:
                 self.certificate.as_dict() if self.certificate is not None else None
             ),
         }
+        if self.policy is not None:
+            record["policy"] = self.policy.summary()
+        return record
 
 
 @dataclass
@@ -168,6 +179,42 @@ def _error_results(
     ]
 
 
+def _policy_from_outcome(group, query, built, value, outcome, metrics):
+    """Wrap a recorded scheduler into a provenance-carrying artifact.
+
+    Also records the extraction metrics (``policies_extracted``,
+    compressed/dense byte counters, the compression-ratio gauges) the
+    observability glossary documents.
+    """
+    from repro.policy.artifact import PolicyArtifact
+
+    decisions = outcome.decisions
+    artifact = PolicyArtifact(
+        decisions=decisions,
+        meta={
+            "model_key": group.model_key,
+            "model": dict(group.spec),
+            "objective": group.objective,
+            "goal": group.goal,
+            "t": query.t,
+            "epsilon": query.epsilon,
+            "value": value,
+            "initial": int(built.model.initial),
+        },
+        certificate=outcome.certificate,
+    )
+    metrics.count("policies_extracted")
+    nbytes = getattr(decisions, "nbytes", None)
+    dense_nbytes = getattr(decisions, "dense_nbytes", None)
+    if nbytes is not None and dense_nbytes is not None:
+        metrics.count("policy_bytes_written", int(nbytes))
+        metrics.count("policy_dense_bytes", int(dense_nbytes))
+        ratio = float(decisions.compression_ratio)
+        metrics.gauge("policy_last_compression_ratio", ratio)
+        metrics.gauge("policy_compression_ratio_max", ratio)
+    return artifact
+
+
 def _solve_group(
     registry: ModelRegistry, group: QueryGroup, timeout: float | None
 ) -> list[QueryResult]:
@@ -199,15 +246,25 @@ def _solve_group(
     results = []
     for index, query in group.members:
         started = time.perf_counter()
+        policy = None
         try:
             with _time_limit(timeout), span(
                 "solver.solve", t=query.t, objective=group.objective, kind=built.kind
             ):
                 if built.kind == "ctmdp":
-                    outcome = prepared.solve(query.t, query.epsilon, group.objective)
+                    outcome = prepared.solve(
+                        query.t,
+                        query.epsilon,
+                        group.objective,
+                        record_scheduler=group.record_schedulers,
+                    )
                     value = outcome.value(built.model.initial)
                     iterations = outcome.iterations
                     certificate = outcome.certificate
+                    if group.record_schedulers and outcome.decisions is not None:
+                        policy = _policy_from_outcome(
+                            group, query, built, value, outcome, metrics
+                        )
                 else:
                     values = prepared.solve(query.t, query.epsilon)
                     value = float(values[built.model.initial])
@@ -233,6 +290,7 @@ def _solve_group(
                     model_key=group.model_key,
                     cache=built.source,
                     certificate=certificate,
+                    policy=policy,
                 )
             )
         except QueryTimeout:
@@ -297,6 +355,7 @@ def run_batch(
     registry: ModelRegistry | None = None,
     workers: int | None = None,
     timeout: float | None = None,
+    record_schedulers: bool = False,
 ) -> BatchResult:
     """Answer a batch of queries; results come back in input order.
 
@@ -314,11 +373,15 @@ def run_batch(
     timeout:
         Optional per-query wall-clock budget in seconds; an overrunning
         query yields an error record, the batch continues.
+    record_schedulers:
+        Extract the optimal step scheduler of every CTMDP solve (in the
+        compressed streaming format) and attach it to the result as a
+        :class:`repro.policy.PolicyArtifact` under ``result.policy``.
     """
     batch = list(queries)
     registry = registry if registry is not None else ModelRegistry()
     metrics = registry.metrics
-    groups = plan_queries(batch)
+    groups = plan_queries(batch, record_schedulers=record_schedulers)
 
     slots: list[QueryResult | None] = [None] * len(batch)
     if workers is not None and workers > 1 and len(groups) > 1:
@@ -376,6 +439,7 @@ def run_batch_dicts(
     registry: ModelRegistry | None = None,
     workers: int | None = None,
     timeout: float | None = None,
+    record_schedulers: bool = False,
 ) -> BatchResult:
     """Like :func:`run_batch`, but over raw query dictionaries.
 
@@ -397,6 +461,7 @@ def run_batch_dicts(
         registry=registry,
         workers=workers,
         timeout=timeout,
+        record_schedulers=record_schedulers,
     )
     slots: list[QueryResult | None] = [None] * len(records)
     for (index, _query), result in zip(parsed, inner.results):
@@ -447,16 +512,23 @@ class QueryEngine:
         """Resolve a model spec through the registry."""
         return self.registry.get(spec)
 
-    def run(self, queries: Iterable[Query]) -> BatchResult:
+    def run(
+        self, queries: Iterable[Query], record_schedulers: bool = False
+    ) -> BatchResult:
         """Answer a batch of :class:`Query` records."""
         return run_batch(
-            queries, registry=self.registry, workers=self.workers, timeout=self.timeout
+            queries,
+            registry=self.registry,
+            workers=self.workers,
+            timeout=self.timeout,
+            record_schedulers=record_schedulers,
         )
 
     def run_dicts(
         self,
         records: Sequence[Mapping[str, Any]],
         defaults: Mapping[str, Any] | None = None,
+        record_schedulers: bool = False,
     ) -> BatchResult:
         """Answer a batch of raw query dictionaries."""
         return run_batch_dicts(
@@ -465,4 +537,5 @@ class QueryEngine:
             registry=self.registry,
             workers=self.workers,
             timeout=self.timeout,
+            record_schedulers=record_schedulers,
         )

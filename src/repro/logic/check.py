@@ -8,14 +8,18 @@ from typing import Mapping
 import numpy as np
 
 from repro.core.ctmdp import CTMDP
-from repro.core.expected_time import expected_reachability_time
-from repro.core.reachability import timed_reachability, unbounded_reachability
+from repro.core.expected_time import expected_time_analysis
+from repro.core.reachability import (
+    ReachabilityResult,
+    timed_reachability,
+    unbounded_reachability,
+)
 from repro.core.until import timed_until as ctmdp_timed_until
 from repro.ctmc.hitting import expected_hitting_time
 from repro.ctmc.model import CTMC
 from repro.ctmc.reachability import PreparedCTMCReachability
 from repro.ctmc.until import timed_until_with_certificate as ctmc_timed_until
-from repro.ctmc.uniformization import steady_state_distribution
+from repro.ctmc.uniformization import steady_state_analysis
 from repro.errors import ModelError
 from repro.logic.formulas import (
     Atom,
@@ -41,14 +45,19 @@ class CheckResult:
     ``value`` is the computed quantity; ``satisfied`` is the verdict for
     threshold queries and ``None`` for ``=?`` queries; ``certificate``
     is the numerical-health certificate of the underlying solve
-    (``None`` for analyses that do not truncate a Poisson series, e.g.
-    steady-state and expected-time queries).
+    (``None`` only for composite analyses no single certificate covers,
+    e.g. interval reachability); ``solver_result`` carries the full
+    :class:`~repro.core.reachability.ReachabilityResult` when the query
+    ran a time-bounded CTMDP solve -- with ``record_scheduler=True``
+    this is where the extracted decisions live, ready to be wrapped
+    into a :class:`~repro.policy.artifact.PolicyArtifact`.
     """
 
     query: Query
     value: float
     satisfied: bool | None
     certificate: NumericalCertificate | None = None
+    solver_result: ReachabilityResult | None = None
 
     def __str__(self) -> str:
         verdict = "" if self.satisfied is None else f"  [{self.satisfied}]"
@@ -81,8 +90,11 @@ def _probability(
     labels: Mapping[str, np.ndarray],
     state: int,
     epsilon: float,
-) -> tuple[float, NumericalCertificate | None]:
-    """The queried probability plus the solve's certificate (when any)."""
+    record_scheduler: bool = False,
+) -> tuple[float, NumericalCertificate | None, ReachabilityResult | None]:
+    """The queried probability, the solve's certificate, and -- for
+    time-bounded CTMDP solves -- the full result object (carrying the
+    recorded scheduler when ``record_scheduler`` is set)."""
     is_ctmdp = isinstance(model, CTMDP)
     if is_ctmdp and query.objective is Objective.NONE:
         raise ModelError("CTMDP queries need a scheduler quantifier (Pmax/Pmin)")
@@ -105,23 +117,24 @@ def _probability(
             return interval_reachability(
                 model, goal, path.bound[0], path.bound[1], epsilon=epsilon,
                 initial=state,
-            ), None
+            ), None, None
         if path.bound is None:
             if is_ctmdp:
                 return float(
                     unbounded_reachability(model, goal, objective=query.objective.value)[state]
-                ), None
+                ), None, None
             # Unbounded reachability on a CTMC: the embedded jump chain
             # decides it; reuse the CTMDP machinery on a wrapped model.
-            return float(_ctmc_unbounded(model, goal)[state]), None
+            return float(_ctmc_unbounded(model, goal)[state]), None, None
         if is_ctmdp:
             result = timed_reachability(
-                model, goal, path.bound, epsilon=epsilon, objective=query.objective.value
+                model, goal, path.bound, epsilon=epsilon,
+                objective=query.objective.value, record_scheduler=record_scheduler,
             )
-            return result.value(state), result.certificate
+            return result.value(state), result.certificate, result
         solver = PreparedCTMCReachability(model, goal)
         values = solver.solve(path.bound, epsilon=epsilon)
-        return float(values[state]), solver.last_certificate
+        return float(values[state]), solver.last_certificate, None
 
     assert isinstance(path, Until)
     safe = _resolve(path.safe, labels, n)
@@ -130,13 +143,14 @@ def _probability(
         raise ModelError("unbounded until is not supported; use F for plain reachability")
     if is_ctmdp:
         result = ctmdp_timed_until(
-            model, safe, goal, path.bound, epsilon=epsilon, objective=query.objective.value
+            model, safe, goal, path.bound, epsilon=epsilon,
+            objective=query.objective.value, record_scheduler=record_scheduler,
         )
-        return result.value(state), result.certificate
+        return result.value(state), result.certificate, result
     values, certificate = ctmc_timed_until(
         model, safe, goal, path.bound, epsilon=epsilon
     )
-    return float(values[state]), certificate
+    return float(values[state]), certificate, None
 
 
 def _ctmc_unbounded(ctmc: CTMC, goal: np.ndarray) -> np.ndarray:
@@ -155,6 +169,7 @@ def check(
     labels: Mapping[str, np.ndarray] | None = None,
     state: int | None = None,
     epsilon: float = 1e-6,
+    record_scheduler: bool = False,
 ) -> CheckResult:
     """Evaluate ``query`` on ``model`` at ``state``.
 
@@ -172,6 +187,10 @@ def check(
         The state to report (defaults to the model's initial state).
     epsilon:
         Numerical precision for the time-bounded engines.
+    record_scheduler:
+        Record the optimal scheduler during time-bounded CTMDP solves
+        (streamed into a compressed store); it is returned on
+        ``CheckResult.solver_result.decisions``.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -181,36 +200,42 @@ def check(
         raise ModelError(f"state {state} out of range")
 
     if isinstance(query, ProbabilityQuery):
-        value, certificate = _probability(query, model, labels, state, epsilon)
+        value, certificate, solver_result = _probability(
+            query, model, labels, state, epsilon, record_scheduler=record_scheduler
+        )
         return CheckResult(
             query=query,
             value=value,
             satisfied=_verdict(query.comparison, query.threshold, value),
             certificate=certificate,
+            solver_result=solver_result,
         )
 
     if isinstance(query, SteadyStateQuery):
         if not isinstance(model, CTMC):
             raise ModelError("steady-state queries apply to CTMCs only")
         mask = _resolve(query.atom, labels, model.num_states)
-        value = float(steady_state_distribution(model) @ mask.astype(float))
+        steady = steady_state_analysis(model)
+        value = float(steady.distribution @ mask.astype(float))
         return CheckResult(
             query=query,
             value=value,
             satisfied=_verdict(query.comparison, query.threshold, value),
+            certificate=steady.certificate,
         )
 
     assert isinstance(query, ExpectedTimeQuery)
+    certificate = None
     if isinstance(model, CTMDP):
         if query.objective is Objective.NONE:
             raise ModelError("CTMDP expected-time queries need Tmax/Tmin")
         goal = _resolve(query.goal, labels, model.num_states)
-        value = float(
-            expected_reachability_time(model, goal, objective=query.objective.value)[state]
-        )
+        analysis = expected_time_analysis(model, goal, objective=query.objective.value)
+        value = float(analysis.values[state])
+        certificate = analysis.certificate
     else:
         if query.objective is not Objective.NONE:
             raise ModelError("CTMC expected-time queries take plain T")
         goal = _resolve(query.goal, labels, model.num_states)
         value = float(expected_hitting_time(model, goal)[state])
-    return CheckResult(query=query, value=value, satisfied=None)
+    return CheckResult(query=query, value=value, satisfied=None, certificate=certificate)

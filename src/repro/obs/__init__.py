@@ -31,6 +31,7 @@ from repro.obs.certificate import (
     NumericalCertificate,
     certificate_from_foxglynn,
     health_summary,
+    iterative_certificate,
     poisson_tail_mass,
     record_certificate,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "current_tracer",
     "escape_label_value",
     "health_summary",
+    "iterative_certificate",
     "poisson_tail_mass",
     "prometheus_exposition",
     "read_jsonl",

@@ -53,6 +53,7 @@ __all__ = [
     "NumericalCertificate",
     "certificate_from_foxglynn",
     "health_summary",
+    "iterative_certificate",
     "poisson_tail_mass",
     "record_certificate",
 ]
@@ -254,6 +255,52 @@ def certificate_from_foxglynn(
         sweep_residual=float(sweep_residual),
         fp_slack=fp_slack,
         error_bound=error_bound,
+    )
+
+
+def iterative_certificate(
+    algorithm: str,
+    epsilon: float,
+    residual: float,
+    iterations: int,
+    deficit: float = 0.0,
+) -> NumericalCertificate:
+    """Issue a certificate for a solver with no Poisson truncation.
+
+    Covers the direct/iterative solvers -- steady-state (``residual`` is
+    the balance defect ``||pi Q||_inf`` plus clipped negativity),
+    expected time (the scaled Bellman residual at the returned values)
+    and the policy validator's induced-chain check.  The Poisson slots
+    are repurposed, keeping the standard :attr:`NumericalCertificate.healthy`
+    predicate meaningful:
+
+    * ``lam = 0`` and ``left = 0`` (no series was truncated);
+    * ``right`` records the iteration/dimension count (the paper's
+      "# Iterations" analogue, also scaling ``fp_slack``);
+    * ``dropped_mass`` carries the observed ``residual``, so ``healthy``
+      reads "the residual stayed within the admissible ``epsilon``";
+    * ``weight_sum_deficit`` carries ``deficit`` (e.g. the distance of
+      an un-normalised distribution from total mass one).
+
+    ``error_bound = residual + deficit + fp_slack`` -- the a-posteriori
+    defect actually measured, not an a-priori truncation budget.
+    """
+    iterations = max(0, int(iterations))
+    fp_slack = _FP_PER_STEP * max(1, iterations)
+    finite = math.isfinite(residual) and math.isfinite(deficit)
+    return NumericalCertificate(
+        algorithm=algorithm,
+        lam=0.0,
+        epsilon=float(epsilon),
+        left=0,
+        right=iterations,
+        dropped_mass=float(residual),
+        weight_sum_deficit=float(deficit),
+        underflow_count=0,
+        overflow_count=0 if finite else 1,
+        sweep_residual=float(residual),
+        fp_slack=fp_slack,
+        error_bound=float(residual) + float(deficit) + fp_slack,
     )
 
 

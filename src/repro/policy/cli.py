@@ -1,0 +1,284 @@
+"""``repro policy``: inspect, diff, replay and export stored schedulers.
+
+Subcommands operate on ``.rpol`` artifact files or, with a registry
+cache, on content addresses (the 64-digit key or any unambiguous
+prefix):
+
+* ``list`` -- the registry's policy store, one line per artifact;
+* ``inspect`` -- one artifact's provenance, store statistics and
+  extraction certificate as JSON;
+* ``summary`` -- a compact table over several artifacts;
+* ``diff`` -- where two artifacts disagree (metadata and decisions);
+* ``replay`` -- induced-chain validation: rebuild the model from the
+  artifact's spec, replay the stored scheduler, check the reported
+  probability and certify the deviation (exit 0 healthy, 1 not);
+* ``export`` -- the change-point NDJSON stream of ``export_ndjson``.
+
+Exit codes follow the repo convention: 0 success, 1 domain failure
+(unhealthy replay, diff found differences), 2 usage/load errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.policy.artifact import PolicyArtifact, load_artifact
+
+__all__ = ["add_policy_parser", "cmd_policy"]
+
+
+def add_policy_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``policy`` subcommand on the main CLI's subparsers."""
+    policy = sub.add_parser(
+        "policy",
+        help="inspect, diff, replay and export stored scheduler artifacts "
+        "(.rpol files or registry keys)",
+    )
+    actions = policy.add_subparsers(dest="policy_command", required=True)
+
+    def _add_cache(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            help="registry cache directory for key lookups "
+            "(default: ~/.cache/repro)",
+        )
+
+    listing = actions.add_parser("list", help="stored policies in the registry")
+    listing.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_"
+    )
+    _add_cache(listing)
+
+    inspect = actions.add_parser(
+        "inspect", help="provenance, store statistics and certificate (JSON)"
+    )
+    inspect.add_argument("artifact", help=".rpol path or registry key (prefix)")
+    _add_cache(inspect)
+
+    summary = actions.add_parser("summary", help="compact table over artifacts")
+    summary.add_argument("artifacts", nargs="+", help=".rpol paths or registry keys")
+    _add_cache(summary)
+
+    diff = actions.add_parser(
+        "diff", help="metadata and decision differences of two artifacts"
+    )
+    diff.add_argument("left", help=".rpol path or registry key (prefix)")
+    diff.add_argument("right", help=".rpol path or registry key (prefix)")
+    _add_cache(diff)
+
+    replay = actions.add_parser(
+        "replay",
+        help="induced-chain validation: replay the stored scheduler on its "
+        "model and certify the reported probability",
+    )
+    replay.add_argument("artifact", help=".rpol path or registry key (prefix)")
+    replay.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_"
+    )
+    _add_cache(replay)
+
+    export = actions.add_parser(
+        "export", help="change-point NDJSON stream of the scheduler"
+    )
+    export.add_argument("artifact", help=".rpol path or registry key (prefix)")
+    export.add_argument(
+        "--out", default=None, help="write the stream here (default: stdout)"
+    )
+    _add_cache(export)
+
+
+def _registry(args: argparse.Namespace):
+    from repro.engine import ModelRegistry, default_cache_dir
+
+    cache_dir = args.cache_dir if args.cache_dir is not None else str(default_cache_dir())
+    return ModelRegistry(cache_dir=cache_dir)
+
+
+def _load(args: argparse.Namespace, target: str) -> PolicyArtifact:
+    """Resolve ``target`` as a file path first, then as a registry key.
+
+    A key may be abbreviated to any prefix that matches exactly one
+    stored policy.
+    """
+    path = Path(target)
+    if path.is_file():
+        return load_artifact(path)
+    registry = _registry(args)
+    matches = [
+        record for record in registry.list_policies()
+        if str(record.get("key", "")).startswith(target)
+    ]
+    if len(matches) == 1:
+        return registry.load_policy(str(matches[0]["key"]))
+    if len(matches) > 1:
+        raise ReproError(
+            f"key prefix {target!r} is ambiguous "
+            f"({len(matches)} stored policies match)"
+        )
+    raise ReproError(f"no such artifact file or stored policy key: {target!r}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    records = _registry(args).list_policies()
+    if args.format_ == "json":
+        print(json.dumps(records, indent=1, sort_keys=True))
+        return 0
+    if not records:
+        print("no stored policies")
+        return 0
+    print(f"{'key':<16} {'objective':<9} {'t':>10} {'rows':>7} {'states':>7}  goal")
+    for record in records:
+        meta = record.get("meta", {})
+        layout = record.get("layout", {})
+        print(
+            f"{str(record.get('key', ''))[:16]:<16} "
+            f"{str(meta.get('objective', '?')):<9} "
+            f"{float(meta.get('t', float('nan'))):>10g} "
+            f"{int(layout.get('num_rows', 0)):>7d} "
+            f"{int(layout.get('num_states', 0)):>7d}  "
+            f"{meta.get('goal', '?')}"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    artifact = _load(args, args.artifact)
+    print(json.dumps(artifact.summary(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    print(
+        f"{'key':<16} {'objective':<9} {'t':>10} {'value':>13} "
+        f"{'rows':>7} {'ratio':>8} {'stationary':<10}"
+    )
+    for target in args.artifacts:
+        artifact = _load(args, target)
+        stats = artifact.decisions.stats()
+        print(
+            f"{artifact.key[:16]:<16} {artifact.objective:<9} "
+            f"{artifact.t:>10g} {artifact.value:>13.6e} "
+            f"{stats['rows']:>7d} {stats['compression_ratio']:>8.1f} "
+            f"{str(bool(stats['stationary'])).lower():<10}"
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    left = _load(args, args.left)
+    right = _load(args, args.right)
+    if left.key == right.key:
+        print(f"identical: {left.key}")
+        return 0
+    different = False
+    for name in sorted(set(left.meta) | set(right.meta)):
+        a, b = left.meta.get(name), right.meta.get(name)
+        if a != b:
+            different = True
+            print(f"meta {name}: {a!r} != {b!r}")
+    if left.decisions.shape != right.decisions.shape:
+        print(f"shape: {left.decisions.shape} != {right.decisions.shape}")
+        return 1
+    cells = 0
+    first: int | None = None
+    for index, (row_a, row_b) in enumerate(
+        zip(left.decisions.iter_rows(), right.decisions.iter_rows())
+    ):
+        unequal = int(np.count_nonzero(row_a != row_b))
+        if unequal:
+            cells += unequal
+            if first is None:
+                first = index
+    if cells:
+        rows, states = left.decisions.shape
+        print(
+            f"decisions: {cells} differing cell(s) out of {rows * states}, "
+            f"first at row {first}"
+        )
+        return 1
+    print("decisions: identical")
+    return 1 if different else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.policy.validate import validate_artifact
+
+    artifact = _load(args, args.artifact)
+    spec = artifact.meta.get("model")
+    if not isinstance(spec, dict):
+        print(
+            "artifact metadata carries no 'model' spec; cannot rebuild the "
+            "model for replay",
+            file=sys.stderr,
+        )
+        return 2
+    registry = _registry(args)
+    built = registry.get(spec)
+    if built.kind != "ctmdp":
+        print(f"model spec {spec!r} is not a CTMDP", file=sys.stderr)
+        return 2
+    goal = built.goal(str(artifact.meta.get("goal", "no_premium")))
+    safe_label = artifact.meta.get("safe")
+    safe = built.goal(str(safe_label)) if safe_label else None
+    initial = artifact.meta.get("initial")
+    report = validate_artifact(
+        artifact,
+        built.model,
+        goal,
+        initial=int(initial) if initial is not None else None,
+        safe=safe,
+        metrics=registry.metrics,
+    )
+    if args.format_ == "json":
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    artifact = _load(args, args.artifact)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            count = 0
+            for line in artifact.export_ndjson():
+                handle.write(line + "\n")
+                count += 1
+        print(f"wrote {args.out} ({count} records)", file=sys.stderr)
+    else:
+        for line in artifact.export_ndjson():
+            print(line)
+    return 0
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "inspect": _cmd_inspect,
+    "summary": _cmd_summary,
+    "diff": _cmd_diff,
+    "replay": _cmd_replay,
+    "export": _cmd_export,
+}
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``repro policy`` invocation."""
+    try:
+        return _HANDLERS[args.policy_command](args)
+    except (ReproError, OSError) as exc:
+        print(f"policy {args.policy_command} failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def main(argv: Any = None) -> int:  # pragma: no cover - thin wrapper
+    from repro.cli import main as repro_main
+
+    return repro_main(["policy", *(argv or [])])

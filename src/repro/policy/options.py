@@ -1,0 +1,83 @@
+"""Shared ``--save-policy`` plumbing for the CLI front-ends.
+
+``repro check`` and ``repro batch`` both accept ``--save-policy DEST``
+with identical semantics (one option parser, one destination grammar):
+
+* ``registry`` (the literal word) stores artifacts through the model
+  registry's content-addressed policy store (``<cache>/policies/``);
+* an existing directory (or a path ending in a separator) stores one
+  ``<key>.rpol`` file per artifact inside it;
+* any other path writes a single artifact to exactly that file (an
+  error if the command produced more than one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.registry import ModelRegistry
+    from repro.policy.artifact import PolicyArtifact
+
+__all__ = ["add_save_policy_option", "save_policy_artifacts"]
+
+
+def add_save_policy_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--save-policy`` option to ``parser``."""
+    parser.add_argument(
+        "--save-policy",
+        metavar="DEST",
+        default=None,
+        dest="save_policy",
+        help="persist the extracted scheduler(s): a .rpol file path, a "
+        "directory (one <key>.rpol per query), or the literal "
+        "'registry' for the model registry's policy store",
+    )
+
+
+def _is_directory_destination(dest: str, count: int) -> bool:
+    if dest.endswith(os.sep) or (os.altsep and dest.endswith(os.altsep)):
+        return True
+    if Path(dest).is_dir():
+        return True
+    return count > 1
+
+
+def save_policy_artifacts(
+    dest: str,
+    artifacts: "list[PolicyArtifact]",
+    registry: "ModelRegistry | None" = None,
+) -> list[dict[str, Any]]:
+    """Persist ``artifacts`` to ``dest``; return one record per artifact.
+
+    Each record carries the artifact's content ``key`` and the ``path``
+    it was written to.  Raises :class:`~repro.errors.ModelError` on a
+    destination that cannot hold the artifacts (``registry`` without a
+    disk-backed registry, a single-file path for several artifacts).
+    """
+    if not artifacts:
+        return []
+    records: list[dict[str, Any]] = []
+    if dest == "registry":
+        if registry is None:
+            raise ModelError("--save-policy registry needs a model registry")
+        for artifact in artifacts:
+            path = registry.store_policy(artifact)
+            records.append({"key": artifact.key, "path": str(path)})
+        return records
+    if _is_directory_destination(dest, len(artifacts)):
+        directory = Path(dest)
+        directory.mkdir(parents=True, exist_ok=True)
+        for artifact in artifacts:
+            path = artifact.save(directory / f"{artifact.key}.rpol")
+            records.append({"key": artifact.key, "path": str(path)})
+        return records
+    artifact = artifacts[0]
+    path = artifact.save(dest)
+    records.append({"key": artifact.key, "path": str(path)})
+    return records

@@ -219,7 +219,20 @@ class TestCertificatesInEngineAndLogic:
         assert result.certificate is not None
         assert result.certificate.algorithm == "ctmc.reachability"
 
-    def test_steady_state_has_no_certificate(self):
+    def test_steady_state_carries_certificate(self):
+        # Historically certificate-less (a ROADMAP open item); the
+        # steady-state solver now certifies its balance residual.
         chain, _configs, goal = ftwc_direct.build_ctmc(1)
         result = check('S=? [ "goal" ]', chain, {"goal": goal})
-        assert result.certificate is None
+        assert result.certificate is not None
+        assert result.certificate.algorithm == "ctmc.steady_state"
+        assert result.certificate.healthy
+        assert result.certificate.error_bound < 1e-9
+
+    def test_expected_time_carries_certificate(self):
+        model = ftwc_direct.build_ctmdp(1)
+        labels = {"no_premium": model.goal_mask}
+        result = check('Tmin=? [ F "no_premium" ]', model.ctmdp, labels)
+        assert result.certificate is not None
+        assert result.certificate.algorithm == "ctmdp.expected_time"
+        assert result.certificate.healthy

@@ -1,0 +1,174 @@
+"""Compressed decision store: lossless by construction.
+
+The load-bearing property: every way of reading a
+:class:`CompressedDecisions` store (random row access, forward and
+reverse streaming, dense materialisation, fancy indexing) reproduces the
+dense int32 matrix it encodes, bit for bit -- regardless of chunk size,
+row orientation, or how the store was built (one-shot ``from_dense`` or
+streaming ``PolicyWriter``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.store import (
+    DEFAULT_CHUNK_SIZE,
+    CompressedDecisions,
+    PolicyWriter,
+    rle_encode,
+)
+
+
+@st.composite
+def decision_matrices(draw, max_rows: int = 40, max_states: int = 24):
+    """A small random decision table with runs (like real schedulers)."""
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+    states = draw(st.integers(min_value=1, max_value=max_states))
+    base = draw(
+        st.lists(
+            st.integers(min_value=-1, max_value=4), min_size=states, max_size=states
+        )
+    )
+    matrix = np.tile(np.array(base, dtype=np.int32), (rows, 1))
+    # Sprinkle point mutations so consecutive rows mostly agree.
+    mutations = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, max(rows - 1, 0)),
+                st.integers(0, states - 1),
+                st.integers(-1, 4),
+            ),
+            max_size=12,
+        )
+    )
+    for row, state, value in mutations:
+        if rows:
+            matrix[row % rows, state] = value
+    return matrix
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        matrix=decision_matrices(),
+        chunk_size=st.sampled_from([1, 2, 3, 7, DEFAULT_CHUNK_SIZE]),
+        reverse=st.booleans(),
+    )
+    def test_from_dense_round_trips(self, matrix, chunk_size, reverse):
+        store = CompressedDecisions.from_dense(
+            matrix, chunk_size=chunk_size, reverse_rows=reverse
+        )
+        assert store.shape == matrix.shape
+        assert np.array_equal(store.dense(), matrix)
+        for index in range(len(matrix)):
+            assert np.array_equal(store.row(index), matrix[index])
+        forward = list(store.iter_rows())
+        if forward:
+            assert np.array_equal(np.stack(forward), matrix)
+        backward = list(store.iter_rows_reversed())
+        if backward:
+            assert np.array_equal(np.stack(backward), matrix[::-1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=decision_matrices(), chunk_size=st.sampled_from([1, 3, 256]))
+    def test_writer_matches_from_dense(self, matrix, chunk_size):
+        writer = PolicyWriter(
+            num_states=matrix.shape[1] if matrix.size else matrix.shape[1],
+            chunk_size=chunk_size,
+        )
+        for row in matrix:
+            writer.append(row)
+        store = writer.finish()
+        reference = CompressedDecisions.from_dense(matrix, chunk_size=chunk_size)
+        assert np.array_equal(store.dense(), matrix)
+        assert store.layout() == reference.layout()
+        for name, array in store.arrays().items():
+            assert np.array_equal(array, reference.arrays()[name]), name
+
+    def test_writer_reuses_caller_buffer_safely(self):
+        # The solver reuses one row buffer for every append; the store
+        # must not alias it.
+        writer = PolicyWriter(num_states=4)
+        buffer = np.zeros(4, dtype=np.int32)
+        writer.append(buffer)
+        buffer[:] = 7
+        writer.append(buffer)
+        store = writer.finish()
+        assert np.array_equal(store.row(0), [0, 0, 0, 0])
+        assert np.array_equal(store.row(1), [7, 7, 7, 7])
+
+
+class TestReverseRows:
+    def test_reverse_rows_maps_logical_to_physical(self):
+        matrix = np.arange(12, dtype=np.int32).reshape(4, 3)
+        writer = PolicyWriter(num_states=3, reverse_rows=True)
+        # Backward sweep: the physically-first appended row is the
+        # logically-last row.
+        for row in matrix[::-1]:
+            writer.append(row)
+        store = writer.finish()
+        assert np.array_equal(store.dense(), matrix)
+        assert np.array_equal(
+            np.stack(list(store.iter_rows_reversed())), matrix[::-1]
+        )
+
+
+class TestNdarrayDuckTyping:
+    def test_indexing_and_equality(self):
+        matrix = np.array([[0, 1, -1], [0, 1, -1], [2, 1, -1]], dtype=np.int32)
+        store = CompressedDecisions.from_dense(matrix)
+        assert len(store) == 3
+        assert np.array_equal(store[1], matrix[1])
+        assert np.array_equal(store[-1], matrix[-1])
+        assert np.array_equal(store[0:2], matrix[0:2])
+        assert np.array_equal(np.asarray(store), matrix)
+        assert (store == matrix).all()
+        assert int(store[2][0]) == 2
+
+    def test_hash_is_disabled(self):
+        store = CompressedDecisions.from_dense(np.zeros((1, 2), dtype=np.int32))
+        with pytest.raises(TypeError):
+            hash(store)
+
+
+class TestStatistics:
+    def test_stationary_policy_compresses_to_one_base_row(self):
+        matrix = np.tile(np.array([1, 0, 2, 0], dtype=np.int32), (1000, 1))
+        store = CompressedDecisions.from_dense(matrix)
+        assert store.is_stationary
+        assert len(store.change_points()) == 0
+        assert store.compression_ratio > 50.0
+        assert store.nbytes < matrix.nbytes
+
+    def test_change_points_and_ratio(self):
+        matrix = np.zeros((10, 5), dtype=np.int32)
+        matrix[4:, 2] = 1
+        matrix[7:, 0] = 3
+        store = CompressedDecisions.from_dense(matrix)
+        assert not store.is_stationary
+        assert store.change_points().tolist() == [4, 7]
+        stats = store.stats()
+        assert stats["rows"] == 10
+        assert stats["states"] == 5
+        assert stats["dense_bytes"] == matrix.nbytes
+
+    def test_empty_store(self):
+        store = CompressedDecisions.empty(6)
+        assert store.shape == (0, 6)
+        assert list(store.iter_rows()) == []
+        assert store.dense().shape == (0, 6)
+        assert store.is_stationary
+
+
+class TestRLE:
+    def test_rle_encode_round_trips(self):
+        row = np.array([3, 3, 3, -1, -1, 0, 5], dtype=np.int32)
+        values, runs = rle_encode(row)
+        rebuilt = np.repeat(values, runs)
+        assert np.array_equal(rebuilt, row)
+
+    def test_rle_empty(self):
+        values, runs = rle_encode(np.array([], dtype=np.int32))
+        assert len(values) == 0 and len(runs) == 0
