@@ -1,0 +1,98 @@
+"""Benchmark: qualitative precomputation in the timed solver.
+
+On the FTWC N=4 uCTMDP (819 states, 692 of them goal states) the
+Prob0 sets are empty and the whole goal set folds into the scalar
+recursion, so ``precompute=True`` sweeps only the 127 undecided states
+-- same Poisson window, same iteration count, a fraction of the
+matrix-vector work.  The claim under test:
+
+* the clamped solve agrees with the plain solve within the solver
+  epsilon (the sweeps are not bitwise-identical -- different summation
+  order over the reduced sub-matrix);
+* it eliminates a substantial share of the states and is not slower.
+
+Every run appends wall times, the eliminated-state count and the
+speedup to the ``BENCH_qual.json`` ledger in the repository root (git
+commit + timestamp), so the series shows regressions rather than one
+snapshot.
+"""
+
+import time
+from pathlib import Path
+
+from _ledger import append_run
+from repro.core.reachability import PreparedTimedReachability
+from repro.graph import analyze_model
+from repro.models import ftwc_direct
+
+N = 4
+T = 100.0
+EPSILON = 1e-6
+REPEATS = 5
+
+
+def _best_of(fn, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_precompute_speedup_on_ftwc():
+    model = ftwc_direct.build_ctmdp(N)
+    num_states = model.ctmdp.num_states
+
+    plain_solver = PreparedTimedReachability(model.ctmdp, model.goal_mask)
+    clamped_solver = PreparedTimedReachability(
+        model.ctmdp, model.goal_mask, precompute=True
+    )
+    plain_seconds, plain = _best_of(
+        lambda: plain_solver.solve(T, epsilon=EPSILON)
+    )
+    clamped_seconds, clamped = _best_of(
+        lambda: clamped_solver.solve(T, epsilon=EPSILON)
+    )
+
+    analysis_started = time.perf_counter()
+    analysis = analyze_model(model.ctmdp, goal=model.goal_mask)
+    analysis_seconds = time.perf_counter() - analysis_started
+
+    # Correctness: within epsilon, most of the model leaves the sweep.
+    initial = model.ctmdp.initial
+    assert abs(clamped.value(initial) - plain.value(initial)) < 1e-9
+    assert clamped.iterations == plain.iterations
+    assert clamped.states_eliminated == int(model.goal_mask.sum())
+    assert clamped.states_eliminated >= num_states // 2
+    assert clamped.certificate.healthy
+
+    # Performance: sweeping a fraction of the states must not cost more
+    # (generous bound; the ledger tracks the actual series).
+    assert clamped_seconds <= plain_seconds * 1.5 + 0.05
+
+    speedup = plain_seconds / clamped_seconds if clamped_seconds else float("inf")
+    out = Path(__file__).resolve().parent.parent / "BENCH_qual.json"
+    append_run(
+        out,
+        "qualitative-precompute",
+        {
+            "model": {"family": "ftwc", "n": N},
+            "t": T,
+            "epsilon": EPSILON,
+            "states": num_states,
+            "states_eliminated": int(clamped.states_eliminated),
+            "iterations": int(clamped.iterations),
+            "value": clamped.value(initial),
+            "plain_seconds": round(plain_seconds, 6),
+            "precompute_seconds": round(clamped_seconds, 6),
+            "speedup": round(speedup, 3),
+            "graph_analysis_seconds": round(analysis_seconds, 6),
+            "qualitative": analysis.qualitative.counts(),
+        },
+    )
+    print(
+        f"\nFTWC N={N} t={T}: plain {plain_seconds*1e3:.1f} ms, "
+        f"precompute {clamped_seconds*1e3:.1f} ms ({speedup:.2f}x, "
+        f"{clamped.states_eliminated}/{num_states} states eliminated)"
+    )

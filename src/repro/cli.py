@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--ctmc", action="store_true",
         help="evaluate on the CTMC approximation of [13] instead",
     )
+    query.add_argument(
+        "--precompute",
+        action="store_true",
+        help="clamp qualitatively-decided (Prob0/Prob1) states before "
+        "iterating in the CTMDP engines; values agree with the plain "
+        "sweep within epsilon",
+    )
     from repro.policy.options import add_save_policy_option
 
     add_save_policy_option(query)
@@ -176,6 +183,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat warnings as findings (exit 1)",
     )
+    lint.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the whole-model graph pass (Qxxx codes: goal "
+        "reachability, end-component traps, deadlocks, vanishing "
+        "cycles); file goals come from a sibling .lab",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-model graph analysis: SCC condensation, maximal end "
+        "components, deadlocks and the qualitative Prob0/Prob1 sets",
+    )
+    analyze.add_argument(
+        "target",
+        help="model file (.tra/.json) or builtin family "
+        "(ftwc, ftwc-ctmc, ftwc-compositional)",
+    )
+    analyze.add_argument("--n", type=int, default=2, help="cluster size for families")
+    analyze.add_argument(
+        "--goal",
+        default=None,
+        help="goal label for the qualitative sets (files: resolved from "
+        "a sibling .lab; ftwc families default to 'no_premium')",
+    )
+    analyze.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="format_"
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -194,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--timeout", type=float, default=None, help="per-query wall-clock budget (s)"
+    )
+    batch.add_argument(
+        "--precompute",
+        action="store_true",
+        help="qualitative precomputation in the CTMDP solver (clamp "
+        "Prob0 states before iterating)",
     )
     add_save_policy_option(batch)
     _add_cache_arguments(batch)
@@ -393,6 +434,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     result = check(
         args.query, model, labels, epsilon=args.epsilon,
         record_scheduler=bool(args.save_policy),
+        precompute=args.precompute,
     )
     print(result)
     if result.certificate is not None:
@@ -459,7 +501,7 @@ def _save_check_policy(args: argparse.Namespace, result, model) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
-    from repro.lint import LintReport, lint_model, lint_path, lint_pipeline
+    from repro.lint import LintReport, lint_graph, lint_model, lint_path, lint_pipeline
 
     if not args.paths and args.model is None:
         print("nothing to lint: pass model files or --model", file=sys.stderr)
@@ -468,7 +510,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     reports: list[LintReport] = []
     for path in args.paths:
         try:
-            reports.append(lint_path(path))
+            reports.append(lint_path(path, graph=args.graph))
         except (ReproError, OSError, ValueError) as exc:
             print(f"cannot lint {path}: {exc}", file=sys.stderr)
             return 2
@@ -481,14 +523,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             direct = ftwc_direct.build_ctmdp(args.n)
             report = LintReport(target=target, kind="ctmdp")
             report.extend(lint_model(direct.ctmdp, goal=direct.goal_mask))
+            if args.graph:
+                report.extend(lint_graph(direct.ctmdp, goal=direct.goal_mask))
         elif args.model == "ftwc-ctmc":
             chain, _configs, goal = ftwc_direct.build_ctmc(args.n)
             report = LintReport(target=target, kind="ctmc")
             report.extend(lint_model(chain, goal=goal))
+            if args.graph:
+                report.extend(lint_graph(chain, goal=goal))
         else:
             system = ftwc.build_system_imc(args.n)
             report = LintReport(target=target, kind="pipeline")
             report.extend(lint_pipeline(system.imc))
+            if args.graph:
+                report.extend(lint_graph(system.imc))
         reports.append(report)
 
     if args.format_ == "json":
@@ -501,6 +549,92 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print("\n".join(report.render_text() for report in reports))
     return max(report.exit_code(strict=args.strict) for report in reports)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.graph import analyze_model
+
+    target = args.target
+    goal = None
+    try:
+        if target in ("ftwc", "ftwc-ctmc", "ftwc-compositional"):
+            from repro.models import ftwc, ftwc_direct
+
+            mask = None
+            if target == "ftwc":
+                built = ftwc_direct.build_ctmdp(args.n)
+                model, mask = built.ctmdp, built.goal_mask
+            elif target == "ftwc-ctmc":
+                model, _configs, mask = ftwc_direct.build_ctmc(args.n)
+            else:
+                model = ftwc.build_system_imc(args.n).imc
+            if mask is not None:
+                label = args.goal if args.goal is not None else "no_premium"
+                labels = {"no_premium": mask, "premium": ~mask}
+                if label not in labels:
+                    print(
+                        f"unknown goal label {label!r}; "
+                        f"available: {sorted(labels)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                goal = labels[label]
+            name = f"{target}[n={args.n}]"
+        else:
+            path = Path(target)
+            if path.suffix == ".tra":
+                from repro.io.tra import read_ctmc_tra, read_ctmdp_tra, scan_tra
+
+                scan = scan_tra(path)
+                model = (
+                    read_ctmc_tra(path)
+                    if scan.kind == "ctmc"
+                    else read_ctmdp_tra(path)
+                )
+            elif path.suffix == ".json":
+                from repro.io.json_io import load_model
+
+                model = load_model(path)
+            else:
+                print(
+                    f"cannot analyze {path}: unknown suffix {path.suffix!r} "
+                    "(expected .tra/.json or a builtin family)",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.goal is not None:
+                from repro.io.tra import read_labels
+
+                masks = read_labels(path.with_suffix(".lab"), model.num_states)
+                if args.goal not in masks:
+                    print(
+                        f"no proposition {args.goal!r} in "
+                        f"{path.with_suffix('.lab')}; "
+                        f"declared: {sorted(masks)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                goal = masks[args.goal]
+            else:
+                from repro.lint import sibling_goal_mask
+
+                goal = sibling_goal_mask(path, model.num_states)
+            name = str(path)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"cannot analyze {target}: {exc}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_model(model, goal=goal)
+    if args.format_ == "json":
+        document = {"target": name, **analysis.as_dict()}
+        print(json.dumps(document, indent=1))
+    else:
+        print(f"{name}:")
+        print(analysis.render_text())
+    return 0
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
@@ -547,6 +681,7 @@ def _make_engine(args: argparse.Namespace):
         cache_dir=cache_dir,
         workers=getattr(args, "workers", None),
         timeout=getattr(args, "timeout", None),
+        precompute=getattr(args, "precompute", False),
     )
 
 
@@ -739,6 +874,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "selfcheck": _cmd_selfcheck,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
         "batch": _cmd_batch,
         "profile": _cmd_profile,
         "serve": _cmd_serve,

@@ -210,6 +210,9 @@ def expected_time_analysis(
             epsilon=tolerance,
             residual=worst / scale,
             iterations=iterations,
+            # Goal states and the qualitatively-infinite states never
+            # enter the linear solves.
+            states_eliminated=n - len(solve_states),
         )
 
     policy = _proper_initial_policy(ctmdp, mask, finite)

@@ -3,19 +3,21 @@
 Whether a goal set is reached *almost surely* is a purely structural
 question -- actual rates do not matter -- and answering it numerically
 by value iteration is fragile (convergence towards 1 can be arbitrarily
-slow).  This module implements the standard precomputations of
-probabilistic model checkers on the CTMDP's transition graph:
+slow).  The algorithms live in :mod:`repro.graph.qualitative`, which
+covers the full Prob0E/Prob0A/Prob1E/Prob1A family over every model
+class; this module keeps the original CTMDP-facing names:
 
 * :func:`almost_sure_max` (Prob1E): states from which *some* scheduler
   reaches the goal with probability one;
 * :func:`almost_sure_min` (Prob1A): states from which *every* scheduler
   does -- equivalently, from which the adversary cannot retain positive
   probability of avoiding the goal forever;
-* :func:`cannot_reach` (Prob0E-style): states from which the goal is
+* :func:`cannot_reach` (Prob0A): states from which the goal is
   unreachable under every scheduler (no path at all).
 
 Used by :func:`repro.core.expected_time.expected_reachability_time` to
-classify states with infinite expected hitting time exactly.
+classify states with infinite expected hitting time exactly, and by the
+timed solvers to clamp known-zero states before iterating.
 """
 
 from __future__ import annotations
@@ -25,122 +27,22 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.ctmdp import CTMDP
-from repro.core.reachability import _goal_mask
+from repro.graph.qualitative import prob0_forall, prob1_exists, prob1_forall
+from repro.graph.structure import TransitionGraph
 
 __all__ = ["almost_sure_max", "almost_sure_min", "cannot_reach"]
 
 
-def _successor_lists(ctmdp: CTMDP) -> list[list[np.ndarray]]:
-    """Per state, the list of successor arrays (one per transition)."""
-    matrix = ctmdp.rate_matrix
-    result: list[list[np.ndarray]] = []
-    for state in range(ctmdp.num_states):
-        lo, hi = ctmdp.choice_ptr[state], ctmdp.choice_ptr[state + 1]
-        rows = []
-        for row in range(lo, hi):
-            start, end = matrix.indptr[row], matrix.indptr[row + 1]
-            rows.append(matrix.indices[start:end])
-        result.append(rows)
-    return result
-
-
 def cannot_reach(ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
     """States with no path to the goal at all (``Pr_max = 0``)."""
-    mask = _goal_mask(ctmdp, goal)
-    successors = _successor_lists(ctmdp)
-    # Backward reachability over the union graph.
-    predecessors: list[list[int]] = [[] for _ in range(ctmdp.num_states)]
-    for state, rows in enumerate(successors):
-        for targets in rows:
-            for target in targets:
-                predecessors[int(target)].append(state)
-    reached = mask.copy()
-    stack = list(np.flatnonzero(mask))
-    while stack:
-        state = stack.pop()
-        for pred in predecessors[state]:
-            if not reached[pred]:
-                reached[pred] = True
-                stack.append(pred)
-    return ~reached
+    return prob0_forall(TransitionGraph.from_ctmdp(ctmdp), goal)
 
 
 def almost_sure_max(ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
-    """States where some scheduler reaches the goal with probability one.
-
-    The classical Prob1E nested fixpoint: the outer loop shrinks a
-    candidate set ``u``; the inner loop grows, inside ``u``, the states
-    that have a transition staying within ``u`` while making progress
-    (positive probability of moving closer to the goal).
-    """
-    mask = _goal_mask(ctmdp, goal)
-    successors = _successor_lists(ctmdp)
-    n = ctmdp.num_states
-
-    u = np.ones(n, dtype=bool)
-    while True:
-        v = mask.copy()
-        changed = True
-        while changed:
-            changed = False
-            for state in range(n):
-                if v[state]:
-                    continue
-                for targets in successors[state]:
-                    if len(targets) == 0:
-                        continue
-                    stays = all(u[int(t)] for t in targets)
-                    progresses = any(v[int(t)] for t in targets)
-                    if stays and progresses:
-                        v[state] = True
-                        changed = True
-                        break
-        if np.array_equal(v, u):
-            return u
-        u = v
+    """States where some scheduler reaches the goal with probability one."""
+    return prob1_exists(TransitionGraph.from_ctmdp(ctmdp), goal)
 
 
 def almost_sure_min(ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> np.ndarray:
-    """States where every scheduler reaches the goal with probability one.
-
-    The adversary avoids the goal with positive probability iff it can
-    (staying outside the goal) reach a *closed* goal-free sub-MDP -- a
-    set in which some transition of every member keeps all mass inside
-    the set.  The closed core is a greatest fixpoint; reachability to it
-    runs over all goal-free edges (an action leaking some mass into the
-    goal still moves outside-mass with positive probability).
-    """
-    mask = _goal_mask(ctmdp, goal)
-    successors = _successor_lists(ctmdp)
-    n = ctmdp.num_states
-
-    # Greatest fixpoint: goal-free states keeping, via some transition,
-    # all mass within the candidate set.  States without transitions are
-    # absorbing and trivially closed.
-    core = ~mask
-    changed = True
-    while changed:
-        changed = False
-        for state in np.flatnonzero(core):
-            rows = successors[state]
-            if not rows:
-                continue  # absorbing: stays forever
-            if not any(all(core[int(t)] for t in targets) for targets in rows):
-                core[state] = False
-                changed = True
-
-    # Can the adversary reach the core while avoiding the goal?  Forward
-    # search over goal-free states along any transition edge.
-    avoid_possible = core.copy()
-    changed = True
-    while changed:
-        changed = False
-        for state in range(n):
-            if avoid_possible[state] or mask[state]:
-                continue
-            for targets in successors[state]:
-                if any(avoid_possible[int(t)] for t in targets):
-                    avoid_possible[state] = True
-                    changed = True
-                    break
-    return ~avoid_possible
+    """States where every scheduler reaches the goal with probability one."""
+    return prob1_forall(TransitionGraph.from_ctmdp(ctmdp), goal)

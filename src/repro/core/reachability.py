@@ -115,6 +115,10 @@ class ReachabilityResult:
         The numerical-health certificate of this solve: truncation
         accounting, sweep residual and the certified a-posteriori error
         bound (see :mod:`repro.obs.certificate`).
+    states_eliminated:
+        Number of states the qualitative precomputation removed from
+        the numeric sweep (known-zero states clamped, goal states folded
+        into a scalar recursion).  Zero without ``precompute=True``.
     """
 
     values: np.ndarray
@@ -125,6 +129,7 @@ class ReachabilityResult:
     poisson: FoxGlynn
     decisions: np.ndarray | CompressedDecisions | None = None
     certificate: NumericalCertificate | None = None
+    states_eliminated: int = 0
 
     def value(self, state: int) -> float:
         """Probability from ``state``."""
@@ -158,12 +163,29 @@ class PreparedTimedReachability:
 
     :func:`timed_reachability` delegates to this class, so prepared and
     one-shot solves are bitwise-identical.
+
+    With ``precompute=True`` every :meth:`solve` first runs the
+    qualitative graph analysis (:mod:`repro.graph.qualitative`): states
+    with a known answer -- the zero set of the requested objective, and
+    the goal states whose value follows a scalar recursion -- are
+    removed from the numeric sweep, which then runs on the reduced
+    sub-matrix of undecided states only.  Answers agree with the
+    unclamped sweep within the solver's certified error bound but are
+    *not* bitwise identical (the reduced mat-vec accumulates round-off
+    in a different order), hence the opt-in default.
     """
 
-    def __init__(self, ctmdp: CTMDP, goal: Iterable[int] | np.ndarray) -> None:
+    def __init__(
+        self,
+        ctmdp: CTMDP,
+        goal: Iterable[int] | np.ndarray,
+        precompute: bool = False,
+    ) -> None:
         self.ctmdp = ctmdp
         self.mask = _goal_mask(ctmdp, goal)
         self.num_states = ctmdp.num_states
+        self.precompute = bool(precompute)
+        self._zero_cache: dict[str, tuple[np.ndarray, np.ndarray | None]] = {}
         self._ready = False
         if not self.mask.any():
             return
@@ -200,6 +222,33 @@ class PreparedTimedReachability:
             certificate=NumericalCertificate.trivial("ctmdp.reachability", epsilon),
         )
 
+    def _zero_info(self, objective: str) -> tuple[np.ndarray, np.ndarray | None]:
+        """The known-zero states of ``objective`` (cached per objective).
+
+        For ``max`` these are the Prob0A states (no path to the goal at
+        all); for ``min`` the Prob0E states, together with the witness
+        choice (per state, the local index of a transition whose whole
+        support stays inside the zero region) that a recorded scheduler
+        must carry so that replaying it reproduces the zero.
+        """
+        cached = self._zero_cache.get(objective)
+        if cached is not None:
+            return cached
+        from repro.graph.qualitative import prob0_exists, prob0_forall
+        from repro.graph.structure import TransitionGraph
+
+        graph = TransitionGraph.from_ctmdp(self.ctmdp)
+        if objective == "max":
+            info: tuple[np.ndarray, np.ndarray | None] = (
+                prob0_forall(graph, self.mask),
+                None,
+            )
+        else:
+            zero, witness = prob0_exists(graph, self.mask, with_witness=True)
+            info = (zero, witness)
+        self._zero_cache[objective] = info
+        return info
+
     def solve(
         self,
         t: float,
@@ -224,6 +273,26 @@ class PreparedTimedReachability:
 
         if t == 0.0 or not self._ready:
             return self._trivial_result(t, epsilon, objective)
+
+        if self.precompute:
+            zero, witness = self._zero_info(objective)
+            return _clamped_sweep(
+                prob=self.prob,
+                prob_to_goal=self.prob_to_goal,
+                choice_ptr=np.asarray(self.ctmdp.choice_ptr),
+                num_states=num_states,
+                mask=self.mask,
+                zero=zero,
+                witness=witness,
+                rate=self.rate,
+                t=t,
+                epsilon=epsilon,
+                objective=objective,
+                record_scheduler=record_scheduler,
+                scheduler_format=scheduler_format,
+                span_name="reachability.sweep",
+                algorithm="ctmdp.reachability",
+            )
 
         fg = fox_glynn(self.rate * t, epsilon)
         psi = fg.probabilities()
@@ -307,6 +376,162 @@ class PreparedTimedReachability:
         )
 
 
+def _clamped_sweep(
+    *,
+    prob,
+    prob_to_goal: np.ndarray,
+    choice_ptr: np.ndarray,
+    num_states: int,
+    mask: np.ndarray,
+    zero: np.ndarray,
+    witness: np.ndarray | None,
+    rate: float,
+    t: float,
+    epsilon: float,
+    objective: str,
+    record_scheduler: bool,
+    scheduler_format: str,
+    span_name: str,
+    algorithm: str,
+) -> ReachabilityResult:
+    """Backward sweep restricted to the qualitatively undecided states.
+
+    Shared by timed reachability and timed until under
+    ``precompute=True``.  Three state classes leave the numeric sweep:
+
+    * ``zero`` states (the Prob0 set of the requested objective,
+      including blocked until-states) are clamped to 0 -- sound for the
+      *timed* objective because membership means the timed probability
+      is exactly 0 for every horizon;
+    * goal states follow the scalar recursion ``g_i = psi_i + g_{i+1}``
+      shared by all of them, so their matrix rows and columns fold into
+      ``(psi_i + g_{i+1}) * prob_to_goal``;
+    * only the remaining *active* states are iterated, over the reduced
+      ``active-rows x active-states`` sub-matrix.
+
+    Recorded schedulers stay replayable: clamped min-states carry their
+    zero-witness choice (a transition whose support stays inside the
+    zero region), so the induced-chain validation reproduces the zero.
+    """
+    fg = fox_glynn(rate * t, epsilon)
+    psi = fg.probabilities()
+    k = fg.right
+
+    active = ~mask & ~zero
+    active_idx = np.flatnonzero(active)
+    goal_idx = np.flatnonzero(mask)
+    states_eliminated = num_states - len(active_idx)
+
+    # Decision template for the eliminated states: min-zero states get
+    # their witness transition, everything else the -1 "no choice"
+    # marker (any choice of a max-zero state yields 0, goal states are
+    # pinned by every replay).
+    template = np.full(num_states, -1, dtype=np.int32)
+    if witness is not None:
+        chosen = witness >= 0
+        template[chosen] = witness[chosen].astype(np.int32)
+
+    dense_decisions: np.ndarray | None = None
+    writer: PolicyWriter | None = None
+    if record_scheduler:
+        if scheduler_format == "dense":
+            dense_decisions = np.full((k, num_states), -1, dtype=np.int32)
+        else:
+            writer = PolicyWriter(num_states=num_states, reverse_rows=True)
+
+    def _finish(
+        q_active: np.ndarray, g_total: float
+    ) -> ReachabilityResult:
+        decisions: np.ndarray | CompressedDecisions | None = dense_decisions
+        if writer is not None:
+            decisions = writer.finish()
+        values = np.zeros(num_states)
+        values[active_idx] = q_active
+        values[goal_idx] = 1.0
+        residual = max(
+            0.0,
+            float(values.max()) - 1.0,
+            -float(values.min()),
+            g_total - 1.0,
+        )
+        np.clip(values, 0.0, 1.0, out=values)
+        return ReachabilityResult(
+            values=values,
+            iterations=k,
+            uniform_rate=rate,
+            time_bound=t,
+            objective=objective,
+            poisson=fg,
+            decisions=decisions,
+            certificate=certificate_from_foxglynn(
+                fg,
+                epsilon,
+                algorithm,
+                sweep_residual=residual,
+                states_eliminated=states_eliminated,
+            ),
+            states_eliminated=states_eliminated,
+        )
+
+    if len(active_idx) == 0:
+        # Every state is decided; only the constant decisions remain.
+        if dense_decisions is not None:
+            dense_decisions[:] = template
+        elif writer is not None:
+            for _ in range(k):
+                writer.append(template)
+        return _finish(np.empty(0), float(np.sum(psi)))
+
+    counts_all = np.diff(choice_ptr)
+    row_sources = np.repeat(np.arange(num_states), counts_all)
+    active_rows = np.flatnonzero(active[row_sources])
+    segments = SegmentIndex.from_choice_ptr(
+        np.concatenate(([0], np.cumsum(counts_all[active_idx])))
+    )
+    sub = prob[active_rows]
+    prob_aa = sub[:, active_idx].tocsr()
+    prob_to_goal_active = prob_to_goal[active_rows]
+    record_states = active_idx[segments.nonempty]
+
+    with sweep_span(
+        span_name,
+        t=t,
+        objective=objective,
+        states=num_states,
+        active=len(active_idx),
+        iterations=k,
+        lam=rate * t,
+        precompute=True,
+    ) as steps:
+        record_steps = steps.enabled
+        q = np.zeros(len(active_idx))
+        g = 0.0  # the shared goal-state value g_{i+1}
+        for i in range(k, 0, -1):
+            step_started = perf_counter() if record_steps else 0.0
+            psi_i = psi[i - fg.left] if i >= fg.left else 0.0
+            transition_values = (psi_i + g) * prob_to_goal_active + prob_aa @ q
+            best = segment_reduce(transition_values, segments, objective)
+            new_q = np.zeros(len(active_idx))
+            new_q[segments.nonempty] = best
+            if record_scheduler:
+                argbest = segment_argbest(
+                    transition_values, best, segments, objective
+                ).astype(np.int32)
+                decision_row = template.copy()
+                decision_row[record_states] = argbest
+                if dense_decisions is not None:
+                    dense_decisions[i - 1] = decision_row
+                else:
+                    assert writer is not None
+                    writer.append(decision_row)
+            q = new_q
+            g = psi_i + g
+            if record_steps:
+                steps.record(perf_counter() - step_started)
+
+    return _finish(q, g)
+
+
 def timed_reachability(
     ctmdp: CTMDP,
     goal: Iterable[int] | np.ndarray,
@@ -315,6 +540,7 @@ def timed_reachability(
     objective: str = "max",
     record_scheduler: bool = False,
     scheduler_format: str = "compressed",
+    precompute: bool = False,
 ) -> ReachabilityResult:
     """Run Algorithm 1 on a uniform CTMDP.
 
@@ -342,12 +568,18 @@ def timed_reachability(
         the sweep; ``"dense"`` keeps the historical
         ``iterations x num_states`` int32 matrix (large for the long
         FTWC horizons -- it exists for the equivalence tests).
+    precompute:
+        If true, clamp the qualitative zero set and fold the goal states
+        into a scalar recursion before iterating; the sweep then covers
+        only the undecided states.  Values agree with the unclamped
+        sweep within the certified error bound (not bitwise), and the
+        result reports ``states_eliminated``.
 
     Returns
     -------
     ReachabilityResult
     """
-    return PreparedTimedReachability(ctmdp, goal).solve(
+    return PreparedTimedReachability(ctmdp, goal, precompute=precompute).solve(
         t,
         epsilon=epsilon,
         objective=objective,
@@ -511,6 +743,7 @@ def unbounded_reachability(
     objective: str = "max",
     tol: float = 1e-12,
     max_iterations: int = 1_000_000,
+    precompute: bool = False,
 ) -> np.ndarray:
     """(Time-)unbounded reachability probabilities via value iteration.
 
@@ -518,11 +751,36 @@ def unbounded_reachability(
     ever reached", so this is plain value iteration on the embedded
     DTMDP.  Used for sanity checks (timed probabilities must converge to
     these values as ``t`` grows) and as a general-purpose utility.
+
+    With ``precompute=True`` both qualitative sets of the objective are
+    clamped before iterating -- unlike the timed solvers, the *one* set
+    is sound here (``Pmax = 1`` / ``Pmin = 1`` membership is exactly the
+    unbounded value), which removes the slowest-converging states from
+    the iteration entirely.
     """
     validate_objective(objective)
     mask = _goal_mask(ctmdp, goal)
     if not mask.any():
         return np.zeros(ctmdp.num_states)
+
+    zero: np.ndarray | None = None
+    one: np.ndarray | None = None
+    if precompute:
+        from repro.graph.qualitative import (
+            prob0_exists,
+            prob0_forall,
+            prob1_exists,
+            prob1_forall,
+        )
+        from repro.graph.structure import TransitionGraph
+
+        graph = TransitionGraph.from_ctmdp(ctmdp)
+        if objective == "max":
+            zero = prob0_forall(graph, mask)
+            one = prob1_exists(graph, mask)
+        else:
+            zero = np.asarray(prob0_exists(graph, mask))
+            one = prob1_forall(graph, mask)
 
     prob = ctmdp.probability_matrix()
     segments = SegmentIndex.from_choice_ptr(ctmdp.choice_ptr)
@@ -532,12 +790,18 @@ def unbounded_reachability(
     ) as steps:
         record_steps = steps.enabled
         q = mask.astype(np.float64)
+        if one is not None:
+            q[one] = 1.0
         for _ in range(max_iterations):
             step_started = perf_counter() if record_steps else 0.0
             transition_values = prob @ q
             new_q = np.zeros(ctmdp.num_states)
             new_q[segments.nonempty] = segment_reduce(transition_values, segments, objective)
             new_q[mask] = 1.0
+            if one is not None:
+                new_q[one] = 1.0
+            if zero is not None:
+                new_q[zero] = 0.0
             if record_steps:
                 steps.record(perf_counter() - step_started)
             if np.max(np.abs(new_q - q)) < tol:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.ctmdp import CTMDP
 from repro.core.reachability import (
     ReachabilityResult,
+    _clamped_sweep,
     _goal_mask,
     _validate_scheduler_format,
 )
@@ -53,6 +54,7 @@ def timed_until(
     objective: str = "max",
     record_scheduler: bool = False,
     scheduler_format: str = "compressed",
+    precompute: bool = False,
 ) -> ReachabilityResult:
     """Optimal probability of ``safe U^{<=t} goal`` per state.
 
@@ -78,6 +80,11 @@ def timed_until(
         value is pinned to zero whatever is chosen).
     scheduler_format:
         ``"compressed"`` (default) or ``"dense"``; see
+        :func:`repro.core.reachability.timed_reachability`.
+    precompute:
+        If true, clamp the qualitative zero set of the until objective
+        (blocked states included) and fold the goal states into a
+        scalar recursion before iterating; see
         :func:`repro.core.reachability.timed_reachability`.
 
     Returns
@@ -115,6 +122,40 @@ def timed_until(
     rate = ctmdp.uniform_rate()
     if rate <= 0.0:
         raise NonUniformError("uniform rate must be strictly positive for analysis")
+
+    if precompute:
+        from repro.graph.qualitative import prob0_exists, prob0_forall
+        from repro.graph.structure import TransitionGraph
+
+        graph = TransitionGraph.from_ctmdp(ctmdp)
+        witness: np.ndarray | None = None
+        if objective == "max":
+            zero = prob0_forall(graph, goal_mask, safe=safe_mask)
+        else:
+            zero, witness = prob0_exists(
+                graph, goal_mask, safe=safe_mask, with_witness=True
+            )
+        # Blocked states are in either zero set by construction, so the
+        # clamped sweep needs no separate blocked pinning.
+        prob_pre = ctmdp.probability_matrix()
+        return _clamped_sweep(
+            prob=prob_pre,
+            prob_to_goal=prob_pre @ goal_mask.astype(np.float64),
+            choice_ptr=np.asarray(ctmdp.choice_ptr),
+            num_states=ctmdp.num_states,
+            mask=goal_mask,
+            zero=zero,
+            witness=witness,
+            rate=rate,
+            t=t,
+            epsilon=epsilon,
+            objective=objective,
+            record_scheduler=record_scheduler,
+            scheduler_format=scheduler_format,
+            span_name="until.sweep",
+            algorithm="ctmdp.until",
+        )
+
     fg = fox_glynn(rate * t, epsilon)
     psi = fg.probabilities()
 

@@ -4,8 +4,10 @@ from repro.ctmc.hitting import expected_hitting_time
 from repro.ctmc.model import CTMC
 from repro.ctmc.phase_type import PhaseType
 from repro.ctmc.reachability import (
+    IntervalReachabilityResult,
     goal_mask,
     interval_reachability,
+    interval_reachability_analysis,
     timed_reachability,
     timed_reachability_curve,
 )
@@ -22,7 +24,9 @@ __all__ = [
     "expected_hitting_time",
     "PhaseType",
     "goal_mask",
+    "IntervalReachabilityResult",
     "interval_reachability",
+    "interval_reachability_analysis",
     "timed_reachability",
     "timed_reachability_curve",
     "timed_until",

@@ -14,6 +14,7 @@ reachability probabilities.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -27,9 +28,11 @@ from repro.obs import NumericalCertificate, certificate_from_foxglynn
 
 __all__ = [
     "PreparedCTMCReachability",
+    "IntervalReachabilityResult",
     "timed_reachability",
     "timed_reachability_curve",
     "interval_reachability",
+    "interval_reachability_analysis",
     "goal_mask",
 ]
 
@@ -229,6 +232,14 @@ def timed_reachability_curve(
     return np.clip(results, 0.0, 1.0)
 
 
+@dataclass(frozen=True)
+class IntervalReachabilityResult:
+    """Interval-bounded reachability value plus a composed certificate."""
+
+    value: float
+    certificate: NumericalCertificate
+
+
 def interval_reachability(
     ctmc: CTMC,
     goal: Iterable[int] | np.ndarray,
@@ -239,18 +250,49 @@ def interval_reachability(
 ) -> float:
     """Probability to visit ``goal`` within the window ``[t_start, t_end]``.
 
+    Kept for callers that only want the bare probability; delegates to
+    :func:`interval_reachability_analysis` so both paths are
+    bitwise-identical.
+    """
+    return interval_reachability_analysis(
+        ctmc, goal, t_start, t_end, epsilon=epsilon, initial=initial
+    ).value
+
+
+def interval_reachability_analysis(
+    ctmc: CTMC,
+    goal: Iterable[int] | np.ndarray,
+    t_start: float,
+    t_end: float,
+    epsilon: float = 1e-10,
+    initial: int | None = None,
+) -> IntervalReachabilityResult:
+    """Certified probability to visit ``goal`` within ``[t_start, t_end]``.
+
     The CSL path formula ``F[t1,t2] goal``: visits before ``t_start`` do
     not count (the chain may pass through the goal early and leave
     again).  Standard decomposition: evolve the *unmodified* chain to
     ``t_start``, then ask for reachability within the remaining
     ``t_end - t_start`` from wherever the chain is.
 
+    The answer composes two Poisson-truncated analyses, so its
+    certificate composes theirs (algorithm
+    ``"ctmc.interval_reachability"``): with transient error ``a`` in
+    total variation and reachability sup error ``b``,
+
+        |pi~ . v~  -  pi . v|  <=  a + b + a * b
+
+    since ``pi~ . v~ = (pi + da)(v + db)`` with ``|da|_1 <= a``,
+    ``|db|_inf <= b`` and ``|v|_inf <= 1``.  The window/iteration and
+    round-off accounting fields are the sums of the components', and
+    the admissible budget doubles (each stage was granted ``epsilon``).
+
     Returns the probability from ``initial`` (default: the chain's
     initial state).
     """
     if t_start < 0.0 or t_end < t_start:
         raise ModelError("need 0 <= t_start <= t_end")
-    from repro.ctmc.uniformization import transient_distribution
+    from repro.ctmc.uniformization import transient_analysis
 
     n = ctmc.num_states
     if isinstance(goal, np.ndarray) and goal.dtype == bool:
@@ -260,8 +302,28 @@ def interval_reachability(
     start = ctmc.initial if initial is None else initial
     pi0 = np.zeros(n)
     pi0[start] = 1.0
-    at_window_start = transient_distribution(
+    transient = transient_analysis(
         ctmc, t_start, initial_distribution=pi0, epsilon=epsilon
     )
-    from_each_state = timed_reachability(ctmc, mask, t_end - t_start, epsilon=epsilon)
-    return float(np.clip(at_window_start @ from_each_state, 0.0, 1.0))
+    solver = PreparedCTMCReachability(ctmc, mask)
+    from_each_state = solver.solve(t_end - t_start, epsilon=epsilon)
+    reach_certificate = solver.last_certificate
+    assert reach_certificate is not None
+    value = float(np.clip(transient.distribution @ from_each_state, 0.0, 1.0))
+    a = transient.certificate
+    b = reach_certificate
+    certificate = NumericalCertificate(
+        algorithm="ctmc.interval_reachability",
+        lam=a.lam + b.lam,
+        epsilon=2.0 * float(epsilon),
+        left=min(a.left, b.left),
+        right=a.right + b.right,
+        dropped_mass=a.dropped_mass + b.dropped_mass,
+        weight_sum_deficit=a.weight_sum_deficit + b.weight_sum_deficit,
+        underflow_count=a.underflow_count + b.underflow_count,
+        overflow_count=a.overflow_count + b.overflow_count,
+        sweep_residual=a.sweep_residual + b.sweep_residual,
+        fp_slack=a.fp_slack + b.fp_slack,
+        error_bound=a.error_bound + b.error_bound + a.error_bound * b.error_bound,
+    )
+    return IntervalReachabilityResult(value=value, certificate=certificate)

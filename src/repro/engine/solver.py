@@ -216,9 +216,18 @@ def _policy_from_outcome(group, query, built, value, outcome, metrics):
 
 
 def _solve_group(
-    registry: ModelRegistry, group: QueryGroup, timeout: float | None
+    registry: ModelRegistry,
+    group: QueryGroup,
+    timeout: float | None,
+    precompute: bool = False,
 ) -> list[QueryResult]:
-    """Answer one group against a single prepared solver."""
+    """Answer one group against a single prepared solver.
+
+    ``precompute`` enables qualitative precomputation in the CTMDP
+    solver (see :class:`PreparedTimedReachability`); CTMC groups ignore
+    it.  Off by default so batched answers stay bitwise-identical to
+    independent solver calls.
+    """
     metrics = registry.metrics
     try:
         built = registry.get(group.spec)
@@ -235,7 +244,7 @@ def _solve_group(
         ):
             if built.kind == "ctmdp":
                 prepared: PreparedTimedReachability | PreparedCTMCReachability = (
-                    PreparedTimedReachability(built.model, goal)
+                    PreparedTimedReachability(built.model, goal, precompute=precompute)
                 )
             else:
                 prepared = PreparedCTMCReachability(built.model, goal)
@@ -278,6 +287,10 @@ def _solve_group(
             metrics.add_time("solve_seconds", seconds)
             metrics.count("foxglynn")
             metrics.count("iterations", iterations)
+            if certificate is not None and certificate.states_eliminated:
+                metrics.count(
+                    "precompute_states_eliminated", certificate.states_eliminated
+                )
             if certificate is not None:
                 record_certificate(metrics, certificate)
             results.append(
@@ -323,6 +336,7 @@ def _worker_solve_group(
     cache_dir: str | None,
     timeout: float | None,
     trace_id: str | None = None,
+    precompute: bool = False,
 ) -> tuple[list[QueryResult], dict, dict | None]:
     """Process-pool entry point: solve one group in a fresh registry.
 
@@ -338,10 +352,10 @@ def _worker_solve_group(
     reset_subprocess_tracer()
     registry = ModelRegistry(cache_dir=cache_dir)
     if trace_id is None:
-        results = _solve_group(registry, group, timeout)
+        results = _solve_group(registry, group, timeout, precompute=precompute)
         return results, registry.metrics.as_dict(), None
     with tracing(trace_id=trace_id) as tracer:
-        results = _solve_group(registry, group, timeout)
+        results = _solve_group(registry, group, timeout, precompute=precompute)
         payload = {
             "spans": tracer.as_dicts(),
             "origin_epoch": tracer.origin_epoch,
@@ -356,6 +370,7 @@ def run_batch(
     workers: int | None = None,
     timeout: float | None = None,
     record_schedulers: bool = False,
+    precompute: bool = False,
 ) -> BatchResult:
     """Answer a batch of queries; results come back in input order.
 
@@ -377,6 +392,10 @@ def run_batch(
         Extract the optimal step scheduler of every CTMDP solve (in the
         compressed streaming format) and attach it to the result as a
         :class:`repro.policy.PolicyArtifact` under ``result.policy``.
+    precompute:
+        Run qualitative graph precomputation (Prob0 clamping) inside
+        the CTMDP solver.  Off by default: clamped sweeps agree with
+        the plain sweep only up to the solver epsilon, not bitwise.
     """
     batch = list(queries)
     registry = registry if registry is not None else ModelRegistry()
@@ -401,7 +420,7 @@ def run_batch(
         ) as pool:
             futures = {
                 pool.submit(
-                    _worker_solve_group, group, cache_dir, timeout, trace_id
+                    _worker_solve_group, group, cache_dir, timeout, trace_id, precompute
                 ): group
                 for group in groups
             }
@@ -422,7 +441,7 @@ def run_batch(
                     slots[result.index] = result
     else:
         for group in groups:
-            for result in _solve_group(registry, group, timeout):
+            for result in _solve_group(registry, group, timeout, precompute=precompute):
                 slots[result.index] = result
 
     results = [slot for slot in slots if slot is not None]
@@ -440,6 +459,7 @@ def run_batch_dicts(
     workers: int | None = None,
     timeout: float | None = None,
     record_schedulers: bool = False,
+    precompute: bool = False,
 ) -> BatchResult:
     """Like :func:`run_batch`, but over raw query dictionaries.
 
@@ -462,6 +482,7 @@ def run_batch_dicts(
         workers=workers,
         timeout=timeout,
         record_schedulers=record_schedulers,
+        precompute=precompute,
     )
     slots: list[QueryResult | None] = [None] * len(records)
     for (index, _query), result in zip(parsed, inner.results):
@@ -496,12 +517,14 @@ class QueryEngine:
         cache_dir: str | None = None,
         workers: int | None = None,
         timeout: float | None = None,
+        precompute: bool = False,
     ) -> None:
         if registry is None:
             registry = ModelRegistry(cache_dir=cache_dir)
         self.registry = registry
         self.workers = workers
         self.timeout = timeout
+        self.precompute = precompute
 
     @property
     def metrics(self) -> EngineMetrics:
@@ -522,6 +545,7 @@ class QueryEngine:
             workers=self.workers,
             timeout=self.timeout,
             record_schedulers=record_schedulers,
+            precompute=self.precompute,
         )
 
     def run_dicts(
@@ -538,4 +562,5 @@ class QueryEngine:
             workers=self.workers,
             timeout=self.timeout,
             record_schedulers=record_schedulers,
+            precompute=self.precompute,
         )

@@ -1,0 +1,258 @@
+"""Strongly connected components and maximal end components.
+
+Tarjan's algorithm is implemented iteratively (explicit stack) so that
+models with long chains -- the fault-tolerant workstation cluster grows
+linearly in ``N`` -- never hit Python's recursion limit.  Component ids
+are emitted in *reverse topological order* of the condensation: if the
+condensation has an edge ``a -> b`` then ``a``'s id is strictly larger
+than ``b``'s, which downstream code exploits for single-pass sweeps.
+
+Maximal end components (MECs) follow the classical fixpoint of de
+Alfaro: alternate SCC decomposition with the removal of choice rows
+that leak mass outside their component, until nothing changes.  A
+*closed* MEC additionally has every original choice row of every member
+confined to the component -- no scheduler can leave it, which makes a
+goal-free closed MEC a genuine probability trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.structure import TransitionGraph
+
+__all__ = [
+    "SCCDecomposition",
+    "EndComponent",
+    "strongly_connected_components",
+    "condensation_edges",
+    "bottom_components",
+    "maximal_end_components",
+]
+
+
+@dataclass(frozen=True)
+class SCCDecomposition:
+    """Result of Tarjan's algorithm on a transition graph.
+
+    Attributes
+    ----------
+    component:
+        Per state, the id of its SCC.  Ids are in reverse topological
+        order of the condensation DAG.
+    num_components:
+        Number of SCCs.
+    """
+
+    component: np.ndarray
+    num_components: int
+
+    def members(self, scc: int) -> np.ndarray:
+        """States belonging to component ``scc``."""
+        return np.flatnonzero(self.component == scc)
+
+    def sizes(self) -> np.ndarray:
+        """Per component, the number of member states."""
+        return np.bincount(self.component, minlength=self.num_components)
+
+
+def strongly_connected_components(graph: TransitionGraph) -> SCCDecomposition:
+    """Iterative Tarjan SCC decomposition over the union adjacency."""
+    return _tarjan(graph.union_adjacency, graph.num_states)
+
+
+def _tarjan(adjacency: sp.csr_matrix, n: int) -> SCCDecomposition:
+    indptr, indices = adjacency.indptr, adjacency.indices
+
+    UNVISITED = -1
+    index = np.full(n, UNVISITED, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    component = np.full(n, UNVISITED, dtype=np.int64)
+    stack: list[int] = []
+    next_index = 0
+    next_component = 0
+
+    for root in range(n):
+        if index[root] != UNVISITED:
+            continue
+        # Each work item is (state, position into its successor slice).
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            state, pos = work.pop()
+            if pos == 0:
+                index[state] = lowlink[state] = next_index
+                next_index += 1
+                stack.append(state)
+                on_stack[state] = True
+            descended = False
+            successors = indices[indptr[state]: indptr[state + 1]]
+            while pos < len(successors):
+                target = int(successors[pos])
+                pos += 1
+                if index[target] == UNVISITED:
+                    work.append((state, pos))
+                    work.append((target, 0))
+                    descended = True
+                    break
+                if on_stack[target]:
+                    lowlink[state] = min(lowlink[state], index[target])
+            if descended:
+                continue
+            # All successors done: close the state.
+            if lowlink[state] == index[state]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component[member] = next_component
+                    if member == state:
+                        break
+                next_component += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[state])
+    return SCCDecomposition(component=component, num_components=next_component)
+
+
+def condensation_edges(
+    graph: TransitionGraph, scc: SCCDecomposition
+) -> set[tuple[int, int]]:
+    """Edges of the condensation DAG (between distinct components)."""
+    adjacency = graph.union_adjacency.tocoo()
+    src = scc.component[adjacency.row]
+    dst = scc.component[adjacency.col]
+    cross = src != dst
+    return set(zip(src[cross].tolist(), dst[cross].tolist()))
+
+
+def bottom_components(graph: TransitionGraph, scc: SCCDecomposition) -> list[int]:
+    """Component ids without outgoing condensation edges.
+
+    A bottom SCC can never be left; deadlock singletons qualify too.
+    """
+    has_exit = np.zeros(scc.num_components, dtype=bool)
+    for a, _ in condensation_edges(graph, scc):
+        has_exit[a] = True
+    return [c for c in range(scc.num_components) if not has_exit[c]]
+
+
+@dataclass(frozen=True)
+class EndComponent:
+    """A maximal end component of a nondeterministic model.
+
+    Attributes
+    ----------
+    states:
+        Sorted member states.
+    rows:
+        Choice rows (global row indices) staying inside the component.
+    closed:
+        True iff *every* original choice row of every member state stays
+        inside -- no scheduler can leave the component.
+    """
+
+    states: np.ndarray
+    rows: np.ndarray
+    closed: bool = field(default=False)
+
+    @property
+    def num_states(self) -> int:
+        """Number of member states."""
+        return len(self.states)
+
+
+def maximal_end_components(graph: TransitionGraph) -> list[EndComponent]:
+    """MEC decomposition by iterated SCC refinement.
+
+    Starts from all states carrying at least one choice row, repeatedly
+    removes rows whose support leaves the row's current component and
+    states left without rows, until stable.  Every surviving component
+    is a maximal end component; singleton components survive only with
+    a self-loop row.
+    """
+    n = graph.num_states
+    num_rows = graph.num_rows
+    row_sources = graph.row_sources
+    indices = graph.support.indices
+    entry_rows = np.repeat(np.arange(num_rows, dtype=np.int64), graph.row_degrees)
+    # Empty rows (CTMC absorbing states) are not genuine choices.
+    alive_rows = graph.row_degrees > 0
+    alive_states = ~graph.deadlocks
+
+    while True:
+        scc = _tarjan(_restricted_adjacency(graph, alive_states, alive_rows), n)
+        # An entry leaks if its target is dead or lives in a different
+        # component than the row's source.
+        leak = alive_rows[entry_rows] & (
+            ~alive_states[indices]
+            | (scc.component[indices] != scc.component[row_sources[entry_rows]])
+        )
+        next_rows = alive_rows & alive_states[row_sources]
+        if leak.any():
+            next_rows &= np.bincount(entry_rows[leak], minlength=num_rows) == 0
+        has_row = np.zeros(n, dtype=bool)
+        if next_rows.any():
+            has_row[row_sources[next_rows]] = True
+        next_states = alive_states & has_row
+        if (next_rows == alive_rows).all() and (next_states == alive_states).all():
+            break
+        alive_rows, alive_states = next_rows, next_states
+
+    mecs: list[EndComponent] = []
+    if not alive_states.any():
+        return mecs
+    final = _tarjan(_restricted_adjacency(graph, alive_states, alive_rows), n)
+    open_rows = np.flatnonzero(
+        np.bincount(
+            entry_rows[~alive_states[indices]], minlength=num_rows
+        ).astype(bool)
+    )
+    # A state with any original row leaving the final member set makes
+    # its component open (states dropped entirely keep the row count
+    # honest: their rows all target outside by construction).
+    open_sources = np.zeros(n, dtype=bool)
+    open_sources[row_sources[open_rows]] = True
+    for cid in np.unique(final.component[alive_states]):
+        members = np.flatnonzero((final.component == cid) & alive_states)
+        member_mask = np.zeros(n, dtype=bool)
+        member_mask[members] = True
+        rows = np.flatnonzero(alive_rows & member_mask[row_sources])
+        if len(rows) == 0:
+            continue
+        closed = _is_closed(graph, member_mask, entry_rows)
+        mecs.append(EndComponent(states=members, rows=rows, closed=closed))
+    mecs.sort(key=lambda mec: int(mec.states[0]))
+    return mecs
+
+
+def _is_closed(
+    graph: TransitionGraph, member_mask: np.ndarray, entry_rows: np.ndarray
+) -> bool:
+    """Whether no original choice row of any member leaves ``member_mask``."""
+    escaping = member_mask[graph.row_sources[entry_rows]] & ~member_mask[
+        graph.support.indices
+    ]
+    return not escaping.any()
+
+
+def _restricted_adjacency(
+    graph: TransitionGraph, states: np.ndarray, rows: np.ndarray
+) -> sp.csr_matrix:
+    """Union adjacency keeping only alive states and choice rows."""
+    n = graph.num_states
+    entry_rows = np.repeat(
+        np.arange(graph.num_rows, dtype=np.int64), graph.row_degrees
+    )
+    sources = graph.row_sources[entry_rows]
+    targets = graph.support.indices
+    keep = rows[entry_rows] & states[sources] & states[targets]
+    adjacency = sp.csr_matrix(
+        (np.ones(int(keep.sum()), dtype=bool), (sources[keep], targets[keep])),
+        shape=(n, n),
+        dtype=bool,
+    )
+    adjacency.sum_duplicates()
+    return adjacency

@@ -14,6 +14,9 @@ A unified diagnostic framework over all model classes of the library:
   bisimulation -> uCTMDP pipeline;
 * :mod:`repro.lint.files` -- linting of on-disk ``.tra`` / ``.json``
   model files;
+* :mod:`repro.lint.graph` -- the whole-model graph pass (``Qxxx``):
+  goal reachability, end-component traps, deadlocks and vanishing
+  cycles, computed with :mod:`repro.graph` (``repro lint --graph``);
 * :mod:`repro.lint.sanitize` -- opt-in sanitizer hooks (the
   ``REPRO_SANITIZE=1`` environment variable or the :func:`sanitizing`
   context manager) that re-lint models at engine trust boundaries.
@@ -42,7 +45,8 @@ from repro.lint.diagnostics import (
     make_diagnostic,
     sort_diagnostics,
 )
-from repro.lint.files import lint_path, lint_tra_scan
+from repro.lint.files import lint_path, lint_tra_scan, sibling_goal_mask
+from repro.lint.graph import lint_graph
 from repro.lint.pipeline import (
     check_composition_invariant,
     check_hiding_invariant,
@@ -66,8 +70,10 @@ __all__ = [
     "lint_lts",
     "lint_model",
     "lint_strict_alternation",
+    "lint_graph",
     "lint_path",
     "lint_tra_scan",
+    "sibling_goal_mask",
     "lint_pipeline",
     "check_composition_invariant",
     "check_hiding_invariant",

@@ -18,7 +18,10 @@ The code space is partitioned by concern:
   rate functions, inconsistent internal storage);
 * ``Gxxx`` -- goal-set plumbing (empty or ill-shaped goal masks);
 * ``Pxxx`` -- pipeline invariants (Lemmas 1-3 and the strictly
-  alternating transform).
+  alternating transform);
+* ``Qxxx`` -- whole-model graph analysis (qualitative reachability,
+  end-component traps, deadlocks, vanishing-state cycles; see
+  :mod:`repro.lint.graph` and :mod:`repro.graph`).
 
 :class:`LintReport` aggregates diagnostics across several targets (a
 model, a file, a pipeline stage) and renders them as text or JSON; its
@@ -87,6 +90,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "P003": (Severity.ERROR, "bisimulation quotient broke uniformity (Lemma 3)"),
     "P004": (Severity.ERROR, "hiding broke uniformity (Lemma 1)"),
     "P005": (Severity.ERROR, "parallel composition broke rate additivity (Lemma 2)"),
+    # --- Whole-model graph analysis --------------------------------------
+    "Q001": (Severity.ERROR, "goal unreachable from the initial state"),
+    "Q002": (Severity.WARNING, "goal-free absorbing end component (probability trap)"),
+    "Q003": (Severity.ERROR, "reachable deadlock state"),
+    "Q004": (Severity.ERROR, "vanishing-state cycle (interactive SCC)"),
 }
 
 

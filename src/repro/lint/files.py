@@ -14,13 +14,15 @@ from __future__ import annotations
 import math
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.io.json_io import load_model
-from repro.io.tra import TraScan, read_ctmc_tra, read_ctmdp_tra, scan_tra
+from repro.io.tra import TraScan, read_ctmc_tra, read_ctmdp_tra, read_labels, scan_tra
 from repro.lint.analyzers import lint_model
 from repro.lint.diagnostics import Diagnostic, LintReport, make_diagnostic
 
-__all__ = ["lint_path", "lint_tra_scan"]
+__all__ = ["lint_path", "lint_tra_scan", "sibling_goal_mask"]
 
 
 def lint_tra_scan(scan: TraScan) -> list[Diagnostic]:
@@ -108,8 +110,33 @@ def lint_tra_scan(scan: TraScan) -> list[Diagnostic]:
     return findings
 
 
-def lint_path(path: str | Path, **options: bool) -> LintReport:
+def sibling_goal_mask(path: str | Path, num_states: int) -> np.ndarray | None:
+    """The goal mask of the ``.lab`` file next to a model file, if any.
+
+    Prefers a proposition literally named ``"goal"``; otherwise the
+    first declared proposition serves.  Returns ``None`` when no
+    sibling ``.lab`` exists or it declares nothing.
+    """
+    lab = Path(path).with_suffix(".lab")
+    if not lab.exists():
+        return None
+    masks = read_labels(lab, num_states)
+    if not masks:
+        return None
+    if "goal" in masks:
+        return masks["goal"]
+    first = next(iter(masks))
+    return masks[first]
+
+
+def lint_path(path: str | Path, graph: bool = False, **options: bool) -> LintReport:
     """Lint one model file; returns a report tagged with the file path.
+
+    With ``graph=True`` the whole-model graph pass
+    (:func:`repro.lint.graph.lint_graph`, the ``Qxxx`` codes) runs as
+    well; its goal set is resolved from a sibling ``.lab`` file when
+    one exists (proposition ``"goal"`` preferred, else the first
+    declared one).
 
     Raises
     ------
@@ -129,6 +156,8 @@ def lint_path(path: str | Path, **options: bool) -> LintReport:
                 read_ctmc_tra(path) if scan.kind == "ctmc" else read_ctmdp_tra(path)
             )
             report.extend(lint_model(model, **options))
+            if graph:
+                report.extend(_graph_findings(model, path))
         return report
     if path.suffix == ".json":
         model = load_model(path)
@@ -136,8 +165,17 @@ def lint_path(path: str | Path, **options: bool) -> LintReport:
             target=str(path), kind=type(model).__name__.lower()
         )
         report.extend(lint_model(model, **options))
+        if graph:
+            report.extend(_graph_findings(model, path))
         return report
     raise ModelError(
         f"cannot lint {path}: unknown suffix {path.suffix!r} "
         "(expected .tra or .json)"
     )
+
+
+def _graph_findings(model, path: Path) -> list[Diagnostic]:
+    from repro.lint.graph import lint_graph
+
+    goal = sibling_goal_mask(path, model.num_states)
+    return lint_graph(model, goal=goal)

@@ -45,8 +45,8 @@ class CheckResult:
     ``value`` is the computed quantity; ``satisfied`` is the verdict for
     threshold queries and ``None`` for ``=?`` queries; ``certificate``
     is the numerical-health certificate of the underlying solve
-    (``None`` only for composite analyses no single certificate covers,
-    e.g. interval reachability); ``solver_result`` carries the full
+    (composite analyses such as interval reachability compose their
+    stages' certificates); ``solver_result`` carries the full
     :class:`~repro.core.reachability.ReachabilityResult` when the query
     ran a time-bounded CTMDP solve -- with ``record_scheduler=True``
     this is where the extracted decisions live, ready to be wrapped
@@ -91,6 +91,7 @@ def _probability(
     state: int,
     epsilon: float,
     record_scheduler: bool = False,
+    precompute: bool = False,
 ) -> tuple[float, NumericalCertificate | None, ReachabilityResult | None]:
     """The queried probability, the solve's certificate, and -- for
     time-bounded CTMDP solves -- the full result object (carrying the
@@ -110,18 +111,22 @@ def _probability(
                 raise ModelError(
                     "interval-bounded reachability is supported for CTMCs only"
                 )
-            from repro.ctmc.reachability import interval_reachability
+            from repro.ctmc.reachability import interval_reachability_analysis
 
             # Composite of a transient analysis and a reachability solve;
-            # no single certificate covers it.
-            return interval_reachability(
+            # the certificate composes the two stages' certificates.
+            interval = interval_reachability_analysis(
                 model, goal, path.bound[0], path.bound[1], epsilon=epsilon,
                 initial=state,
-            ), None, None
+            )
+            return interval.value, interval.certificate, None
         if path.bound is None:
             if is_ctmdp:
                 return float(
-                    unbounded_reachability(model, goal, objective=query.objective.value)[state]
+                    unbounded_reachability(
+                        model, goal, objective=query.objective.value,
+                        precompute=precompute,
+                    )[state]
                 ), None, None
             # Unbounded reachability on a CTMC: the embedded jump chain
             # decides it; reuse the CTMDP machinery on a wrapped model.
@@ -130,6 +135,7 @@ def _probability(
             result = timed_reachability(
                 model, goal, path.bound, epsilon=epsilon,
                 objective=query.objective.value, record_scheduler=record_scheduler,
+                precompute=precompute,
             )
             return result.value(state), result.certificate, result
         solver = PreparedCTMCReachability(model, goal)
@@ -145,6 +151,7 @@ def _probability(
         result = ctmdp_timed_until(
             model, safe, goal, path.bound, epsilon=epsilon,
             objective=query.objective.value, record_scheduler=record_scheduler,
+            precompute=precompute,
         )
         return result.value(state), result.certificate, result
     values, certificate = ctmc_timed_until(
@@ -170,6 +177,7 @@ def check(
     state: int | None = None,
     epsilon: float = 1e-6,
     record_scheduler: bool = False,
+    precompute: bool = False,
 ) -> CheckResult:
     """Evaluate ``query`` on ``model`` at ``state``.
 
@@ -191,6 +199,11 @@ def check(
         Record the optimal scheduler during time-bounded CTMDP solves
         (streamed into a compressed store); it is returned on
         ``CheckResult.solver_result.decisions``.
+    precompute:
+        Clamp qualitatively-decided states (the Prob0 set of the
+        objective; for unbounded reachability also the Prob1 set)
+        before iterating in the CTMDP probability engines.  Values
+        agree with the plain sweep within the solver epsilon.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -201,7 +214,8 @@ def check(
 
     if isinstance(query, ProbabilityQuery):
         value, certificate, solver_result = _probability(
-            query, model, labels, state, epsilon, record_scheduler=record_scheduler
+            query, model, labels, state, epsilon,
+            record_scheduler=record_scheduler, precompute=precompute,
         )
         return CheckResult(
             query=query,

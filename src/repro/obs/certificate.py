@@ -117,6 +117,12 @@ class NumericalCertificate:
         The certified a-posteriori bound (see module docstring); always
         at most ``epsilon`` plus floating-point noise when the solve is
         healthy.
+    states_eliminated:
+        States the qualitative precomputation removed from the sweep
+        (clamped to their known value, or folded into the scalar goal
+        recursion).  Zero when precomputation was off -- the answer is
+        certified either way; this records how much work the graph
+        analysis saved.
     """
 
     algorithm: str
@@ -131,6 +137,7 @@ class NumericalCertificate:
     sweep_residual: float
     fp_slack: float
     error_bound: float
+    states_eliminated: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -166,6 +173,7 @@ class NumericalCertificate:
             "sweep_residual": self.sweep_residual,
             "fp_slack": self.fp_slack,
             "error_bound": self.error_bound,
+            "states_eliminated": self.states_eliminated,
             "status": self.status,
         }
 
@@ -216,6 +224,8 @@ class NumericalCertificate:
             sweep_residual=float(record["sweep_residual"]),
             fp_slack=float(record["fp_slack"]),
             error_bound=float(record["error_bound"]),
+            # Absent in certificates stored before precomputation existed.
+            states_eliminated=int(record.get("states_eliminated", 0)),
         )
 
 
@@ -224,13 +234,16 @@ def certificate_from_foxglynn(
     epsilon: float,
     algorithm: str,
     sweep_residual: float = 0.0,
+    states_eliminated: int = 0,
 ) -> NumericalCertificate:
     """Issue a certificate for one Poisson-truncated solve.
 
     ``fg`` is the Fox-Glynn data the solve actually used;
     ``sweep_residual`` is the largest out-of-``[0, 1]`` excursion the
     sweep produced before clipping (``0.0`` for analyses that cannot
-    drift, e.g. a plain transient distribution).
+    drift, e.g. a plain transient distribution); ``states_eliminated``
+    is the number of states the qualitative precomputation removed from
+    the sweep.
     """
     weights = np.asarray(fg.weights, dtype=np.float64)
     overflow_count = int(np.count_nonzero(~np.isfinite(weights)))
@@ -255,6 +268,7 @@ def certificate_from_foxglynn(
         sweep_residual=float(sweep_residual),
         fp_slack=fp_slack,
         error_bound=error_bound,
+        states_eliminated=int(states_eliminated),
     )
 
 
@@ -264,6 +278,7 @@ def iterative_certificate(
     residual: float,
     iterations: int,
     deficit: float = 0.0,
+    states_eliminated: int = 0,
 ) -> NumericalCertificate:
     """Issue a certificate for a solver with no Poisson truncation.
 
@@ -301,6 +316,7 @@ def iterative_certificate(
         sweep_residual=float(residual),
         fp_slack=fp_slack,
         error_bound=float(residual) + float(deficit) + fp_slack,
+        states_eliminated=int(states_eliminated),
     )
 
 

@@ -10,8 +10,9 @@ prefix):
 * ``summary`` -- a compact table over several artifacts;
 * ``diff`` -- where two artifacts disagree (metadata and decisions);
 * ``replay`` -- induced-chain validation: rebuild the model from the
-  artifact's spec, replay the stored scheduler, check the reported
-  probability and certify the deviation (exit 0 healthy, 1 not);
+  artifact's spec (or load it from disk with ``--against model.tra``),
+  replay the stored scheduler, check the reported probability and
+  certify the deviation (exit 0 healthy, 1 not);
 * ``export`` -- the change-point NDJSON stream of ``export_ndjson``.
 
 Exit codes follow the repo convention: 0 success, 1 domain failure
@@ -82,6 +83,39 @@ def add_policy_parser(sub: argparse._SubParsersAction) -> None:
     replay.add_argument("artifact", help=".rpol path or registry key (prefix)")
     replay.add_argument(
         "--format", choices=["text", "json"], default="text", dest="format_"
+    )
+    replay.add_argument(
+        "--against",
+        default=None,
+        metavar="MODEL_FILE",
+        help="replay against this on-disk model (.tra or .json CTMDP) "
+        "instead of rebuilding from the artifact's model spec",
+    )
+    replay.add_argument(
+        "--labels",
+        default=None,
+        metavar="LAB_FILE",
+        help="label file for --against goal resolution "
+        "(default: the sibling .lab of the model file)",
+    )
+    replay.add_argument(
+        "--goal",
+        default=None,
+        help="goal proposition in the label file (default: the "
+        "artifact's goal label, then 'goal', then the first declared)",
+    )
+    replay.add_argument(
+        "--safe",
+        default=None,
+        help="safe proposition for until-extracted schedulers "
+        "(default: the artifact's safe label, if labelled)",
+    )
+    replay.add_argument(
+        "--initial",
+        type=int,
+        default=None,
+        help="1-based state whose value is compared "
+        "(default: the artifact's recorded initial state)",
     )
     _add_cache(replay)
 
@@ -208,34 +242,118 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1 if different else 0
 
 
+def _against_model(args: argparse.Namespace, artifact: PolicyArtifact):
+    """Load the ``--against`` model file and resolve goal/safe masks.
+
+    The model must be an on-disk CTMDP (``.tra`` or ``.json``); state
+    masks come from ``--labels`` (default: the model's sibling ``.lab``
+    file).  Raises :class:`ReproError` on every resolution failure, so
+    :func:`cmd_policy` maps them to the usage exit code.
+    """
+    from repro.core.ctmdp import CTMDP
+    from repro.io.tra import read_ctmdp_tra, read_labels, scan_tra
+
+    path = Path(args.against)
+    if path.suffix == ".tra":
+        scan = scan_tra(path)
+        if scan.kind != "ctmdp":
+            raise ReproError(
+                f"{path} holds a {scan.kind}; replay needs a CTMDP"
+            )
+        model = read_ctmdp_tra(path)
+    elif path.suffix == ".json":
+        from repro.io.json_io import load_model
+
+        model = load_model(path)
+        if not isinstance(model, CTMDP):
+            raise ReproError(
+                f"{path} holds a {type(model).__name__}; replay needs a CTMDP"
+            )
+    else:
+        raise ReproError(
+            f"cannot replay against {path}: unknown suffix {path.suffix!r} "
+            "(expected .tra or .json)"
+        )
+
+    lab = Path(args.labels) if args.labels else path.with_suffix(".lab")
+    if not lab.exists():
+        raise ReproError(
+            f"no label file {lab} for goal resolution; pass --labels"
+        )
+    masks = read_labels(lab, model.num_states)
+    if not masks:
+        raise ReproError(f"{lab} declares no propositions")
+
+    def _pick(name: str | None, *fallbacks: str | None) -> str:
+        # An explicitly requested proposition must exist; only the
+        # implicit fallbacks may be skipped silently.
+        if name is not None:
+            if name in masks:
+                return name
+            raise ReproError(
+                f"no proposition {name!r} in {lab}; declared: {sorted(masks)}"
+            )
+        for candidate in fallbacks:
+            if candidate is not None and candidate in masks:
+                return candidate
+        return next(iter(masks))
+
+    goal = masks[_pick(args.goal, artifact.meta.get("goal"), "goal")]
+    safe = None
+    safe_label = args.safe if args.safe is not None else artifact.meta.get("safe")
+    if safe_label is not None:
+        if safe_label not in masks:
+            raise ReproError(
+                f"no proposition {safe_label!r} in {lab}; "
+                f"declared: {sorted(masks)}"
+            )
+        safe = masks[safe_label]
+    return model, goal, safe
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.policy.validate import validate_artifact
 
     artifact = _load(args, args.artifact)
-    spec = artifact.meta.get("model")
-    if not isinstance(spec, dict):
-        print(
-            "artifact metadata carries no 'model' spec; cannot rebuild the "
-            "model for replay",
-            file=sys.stderr,
+    if args.against is not None:
+        model, goal, safe = _against_model(args, artifact)
+        metrics = None
+        initial = (
+            args.initial - 1
+            if args.initial is not None
+            else artifact.meta.get("initial")
         )
-        return 2
-    registry = _registry(args)
-    built = registry.get(spec)
-    if built.kind != "ctmdp":
-        print(f"model spec {spec!r} is not a CTMDP", file=sys.stderr)
-        return 2
-    goal = built.goal(str(artifact.meta.get("goal", "no_premium")))
-    safe_label = artifact.meta.get("safe")
-    safe = built.goal(str(safe_label)) if safe_label else None
-    initial = artifact.meta.get("initial")
+    else:
+        spec = artifact.meta.get("model")
+        if not isinstance(spec, dict):
+            print(
+                "artifact metadata carries no 'model' spec; cannot rebuild the "
+                "model for replay (pass --against with an on-disk model)",
+                file=sys.stderr,
+            )
+            return 2
+        registry = _registry(args)
+        built = registry.get(spec)
+        if built.kind != "ctmdp":
+            print(f"model spec {spec!r} is not a CTMDP", file=sys.stderr)
+            return 2
+        model = built.model
+        goal = built.goal(str(artifact.meta.get("goal", "no_premium")))
+        safe_label = artifact.meta.get("safe")
+        safe = built.goal(str(safe_label)) if safe_label else None
+        metrics = registry.metrics
+        initial = (
+            args.initial - 1
+            if args.initial is not None
+            else artifact.meta.get("initial")
+        )
     report = validate_artifact(
         artifact,
-        built.model,
+        model,
         goal,
         initial=int(initial) if initial is not None else None,
         safe=safe,
-        metrics=registry.metrics,
+        metrics=metrics,
     )
     if args.format_ == "json":
         print(json.dumps(report.as_dict(), indent=1, sort_keys=True))

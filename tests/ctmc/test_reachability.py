@@ -156,3 +156,71 @@ class TestIntervalReachability:
             for end in (1.0, 2.0, 4.0)
         ]
         assert values == sorted(values)
+
+
+class TestIntervalCertificate:
+    def chain(self) -> CTMC:
+        return CTMC.from_transitions(
+            3, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 1.0)]
+        )
+
+    def test_composed_certificate_is_healthy(self):
+        from repro.ctmc.reachability import interval_reachability_analysis
+
+        result = interval_reachability_analysis(
+            self.chain(), [2], 1.0, 4.0, epsilon=1e-10
+        )
+        certificate = result.certificate
+        assert certificate.algorithm == "ctmc.interval_reachability"
+        assert certificate.healthy
+        # Each stage was granted epsilon, so the composite budget doubles.
+        assert certificate.epsilon == pytest.approx(2e-10)
+        assert certificate.error_bound >= 0.0
+        assert 0.0 <= result.value <= 1.0
+
+    def test_bare_value_is_bitwise_identical(self):
+        from repro.ctmc.reachability import (
+            interval_reachability,
+            interval_reachability_analysis,
+        )
+
+        chain = self.chain()
+        bare = interval_reachability(chain, [2], 0.5, 3.0, epsilon=1e-11)
+        analysed = interval_reachability_analysis(chain, [2], 0.5, 3.0, epsilon=1e-11)
+        assert bare == analysed.value  # bitwise: one delegates to the other
+
+    def test_error_bound_dominates_the_stages(self):
+        from repro.ctmc.reachability import (
+            PreparedCTMCReachability,
+            interval_reachability_analysis,
+        )
+        from repro.ctmc.uniformization import transient_analysis
+
+        chain = self.chain()
+        composed = interval_reachability_analysis(
+            chain, [2], 1.0, 4.0, epsilon=1e-10
+        ).certificate
+        pi0 = np.zeros(3)
+        pi0[chain.initial] = 1.0
+        a = transient_analysis(
+            chain, 1.0, initial_distribution=pi0, epsilon=1e-10
+        ).certificate
+        solver = PreparedCTMCReachability(chain, np.array([False, False, True]))
+        solver.solve(3.0, epsilon=1e-10)
+        b = solver.last_certificate
+        # |pi~.v~ - pi.v| <= a + b + a*b: the composed bound carries both.
+        assert composed.error_bound == pytest.approx(
+            a.error_bound + b.error_bound + a.error_bound * b.error_bound
+        )
+        assert composed.right == a.right + b.right
+
+    def test_check_returns_the_composed_certificate(self):
+        from repro.logic.check import check
+
+        chain = self.chain()
+        labels = {"goal": np.array([False, False, True])}
+        result = check('P=? [ F[1,4] "goal" ]', chain, labels, epsilon=1e-10)
+        assert result.certificate is not None
+        assert result.certificate.algorithm == "ctmc.interval_reachability"
+        assert result.certificate.healthy
+        assert 0.0 <= result.value <= 1.0

@@ -1,0 +1,164 @@
+"""SCC and MEC decomposition tests, cross-checked against scipy."""
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+from hypothesis import given, settings
+
+from repro.core.ctmdp import CTMDP
+from repro.graph import (
+    bottom_components,
+    condensation_edges,
+    graph_of,
+    maximal_end_components,
+    strongly_connected_components,
+)
+from tests.core.test_reachability_properties import random_uniform_ctmdps
+
+
+def partition_of(labels: np.ndarray) -> set[frozenset[int]]:
+    """Label vector as a labelling-independent partition of the states."""
+    groups: dict[int, set[int]] = {}
+    for state, label in enumerate(labels):
+        groups.setdefault(int(label), set()).add(state)
+    return {frozenset(members) for members in groups.values()}
+
+
+def two_chamber_model() -> CTMDP:
+    """0 <-> 1 feed into the closed cycle 2 <-> 3; 4 is a free agent.
+
+    The condensation is {0,1} -> {2,3} with {4} isolated; {2,3} and {4}
+    are the bottom components.
+    """
+    return CTMDP.from_transitions(
+        5,
+        [
+            (0, "swap", {1: 2.0}),
+            (0, "leak", {2: 2.0}),
+            (1, "swap", {0: 2.0}),
+            (2, "fwd", {3: 2.0}),
+            (3, "back", {2: 2.0}),
+            (4, "stay", {4: 2.0}),
+        ],
+    )
+
+
+class TestSCC:
+    def test_two_chamber_partition(self):
+        graph = graph_of(two_chamber_model())
+        scc = strongly_connected_components(graph)
+        assert scc.num_components == 3
+        assert partition_of(scc.component) == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4}),
+        }
+
+    def test_reverse_topological_ids(self):
+        graph = graph_of(two_chamber_model())
+        scc = strongly_connected_components(graph)
+        for a, b in condensation_edges(graph, scc):
+            assert a > b, "condensation edge must descend in component id"
+
+    def test_bottom_components(self):
+        graph = graph_of(two_chamber_model())
+        scc = strongly_connected_components(graph)
+        bottoms = {frozenset(scc.members(c).tolist()) for c in bottom_components(graph, scc)}
+        assert bottoms == {frozenset({2, 3}), frozenset({4})}
+
+    def test_sizes_sum_to_states(self):
+        graph = graph_of(two_chamber_model())
+        scc = strongly_connected_components(graph)
+        assert int(scc.sizes().sum()) == graph.num_states
+
+    @given(ctmdp=random_uniform_ctmdps())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy_on_random_models(self, ctmdp):
+        graph = graph_of(ctmdp)
+        ours = strongly_connected_components(graph)
+        n_ref, labels_ref = csgraph.connected_components(
+            graph.union_adjacency, directed=True, connection="strong"
+        )
+        assert ours.num_components == n_ref
+        assert partition_of(ours.component) == partition_of(labels_ref)
+
+    @given(ctmdp=random_uniform_ctmdps())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_topological_on_random_models(self, ctmdp):
+        graph = graph_of(ctmdp)
+        scc = strongly_connected_components(graph)
+        for a, b in condensation_edges(graph, scc):
+            assert a > b
+
+
+class TestMEC:
+    def test_two_chamber_mecs(self):
+        graph = graph_of(two_chamber_model())
+        mecs = maximal_end_components(graph)
+        found = {frozenset(mec.states.tolist()): mec.closed for mec in mecs}
+        # {0,1} is an end component via the swap actions but state 0's
+        # leak row makes it open; the cycle and the self-loop are closed.
+        assert found == {
+            frozenset({0, 1}): False,
+            frozenset({2, 3}): True,
+            frozenset({4}): True,
+        }
+
+    def test_singleton_needs_a_self_loop(self):
+        # 0 -> 1 -> (deadlock): no state can circulate, so no MEC.
+        model = CTMDP.from_transitions(
+            3, [(0, "a", {1: 1.0}), (1, "a", {2: 1.0})]
+        )
+        assert maximal_end_components(graph_of(model)) == []
+
+    @given(ctmdp=random_uniform_ctmdps())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_on_random_models(self, ctmdp):
+        graph = graph_of(ctmdp)
+        mecs = maximal_end_components(graph)
+        seen: set[int] = set()
+        for mec in mecs:
+            members = set(mec.states.tolist())
+            # MECs are pairwise disjoint.
+            assert not (members & seen)
+            seen |= members
+            # Every kept row starts and stays inside the component.
+            for row in mec.rows:
+                assert int(graph.row_sources[row]) in members
+                assert set(graph.row_targets(row).tolist()) <= members
+            # The closed flag means *no original row* of a member escapes.
+            escapes = any(
+                not set(graph.row_targets(row).tolist()) <= members
+                for state in members
+                for row in graph.rows_of(state)
+            )
+            assert mec.closed == (not escapes)
+
+    @given(ctmdp=random_uniform_ctmdps())
+    @settings(max_examples=40, deadline=None)
+    def test_bottom_sccs_are_covered(self, ctmdp):
+        """Every bottom SCC is an end component, hence inside some MEC."""
+        graph = graph_of(ctmdp)
+        scc = strongly_connected_components(graph)
+        mec_members = [set(mec.states.tolist()) for mec in maximal_end_components(graph)]
+        for c in bottom_components(graph, scc):
+            members = set(scc.members(c).tolist())
+            if graph.deadlocks[list(members)].all():
+                continue  # a deadlock singleton circulates nothing
+            assert any(members <= mec for mec in mec_members), members
+
+    @given(ctmdp=random_uniform_ctmdps())
+    @settings(max_examples=40, deadline=None)
+    def test_single_action_oracle(self, ctmdp):
+        """On an induced CTMC (one action per state) the MECs are exactly
+        the bottom SCCs that carry at least one edge."""
+        chain = ctmdp.induced_ctmc(np.zeros(ctmdp.num_states, dtype=np.int64))
+        graph = graph_of(chain)
+        scc = strongly_connected_components(graph)
+        expected = set()
+        for c in bottom_components(graph, scc):
+            members = scc.members(c)
+            if not graph.deadlocks[members].all():
+                expected.add(frozenset(members.tolist()))
+        mecs = maximal_end_components(graph)
+        assert {frozenset(mec.states.tolist()) for mec in mecs} == expected
+        assert all(mec.closed for mec in mecs)

@@ -20,7 +20,7 @@ from repro.lint import (
 class TestCodes:
     def test_registry_shape(self):
         for code, (severity, title) in CODES.items():
-            assert len(code) == 4 and code[0] in "UANSGP", code
+            assert len(code) == 4 and code[0] in "UANSGPQ", code
             assert isinstance(severity, Severity)
             assert title
 
@@ -47,7 +47,7 @@ class TestCodes:
     def test_docs_table_in_sync_with_registry(self):
         docs = Path(__file__).parents[2] / "docs" / "lint.md"
         rows = re.findall(
-            r"^\| ([UANSGP]\d{3}) \| (error|warning)\s*\| (.+?) \|$",
+            r"^\| ([UANSGPQ]\d{3}) \| (error|warning)\s*\| (.+?) \|$",
             docs.read_text(encoding="utf-8"),
             flags=re.MULTILINE,
         )

@@ -1,0 +1,102 @@
+"""The whole-model graph pass (``Qxxx`` codes) and its file front-end."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.io.json_io import load_model
+from repro.io.tra import read_ctmc_tra, read_ctmdp_tra
+from repro.lint import Severity, lint_graph, lint_path, sibling_goal_mask
+from repro.models import ftwc_direct
+
+FIXTURES = Path(__file__).parents[1] / "fixtures"
+
+
+def codes_of(findings) -> set[str]:
+    return {finding.code for finding in findings}
+
+
+class TestDefectFixtures:
+    def test_unreachable_goal_fires_q001_and_q002(self):
+        """Self-loops only: the goal is never entered, and the initial
+        state's own loop is a goal-free trap -- in a finite model Q001
+        always drags a Q002 or Q003 along (the stuck mass must live
+        somewhere)."""
+        ctmdp = read_ctmdp_tra(FIXTURES / "defect_unreachable_goal.tra")
+        goal = sibling_goal_mask(FIXTURES / "defect_unreachable_goal.tra", 2)
+        np.testing.assert_array_equal(goal, [False, True])
+        findings = lint_graph(ctmdp, goal=goal)
+        assert codes_of(findings) == {"Q001", "Q002"}
+        q001 = next(f for f in findings if f.code == "Q001")
+        assert q001.severity is Severity.ERROR
+        assert 1 in q001.states
+
+    def test_trap_mec_fires_q002_only(self):
+        ctmdp = read_ctmdp_tra(FIXTURES / "defect_trap_mec.tra")
+        goal = sibling_goal_mask(FIXTURES / "defect_trap_mec.tra", 4)
+        findings = lint_graph(ctmdp, goal=goal)
+        assert codes_of(findings) == {"Q002"}
+        (q002,) = findings
+        assert q002.severity is Severity.WARNING
+        assert set(q002.states) == {2, 3}
+
+    def test_deadlock_fires_q003(self):
+        chain = read_ctmc_tra(FIXTURES / "defect_deadlock.tra")
+        findings = lint_graph(chain)
+        assert codes_of(findings) == {"Q003"}
+        (q003,) = findings
+        assert q003.severity is Severity.ERROR
+        assert q003.states == (1,)
+
+    def test_zeno_imc_fires_q004(self):
+        imc = load_model(FIXTURES / "defect_zeno.json")
+        findings = lint_graph(imc)
+        assert "Q004" in codes_of(findings)
+        q004 = next(f for f in findings if f.code == "Q004")
+        assert set(q004.states) == {0, 1}
+
+    def test_goal_deadlocks_are_exempt(self):
+        """Absorbing goal states are the standard idiom, not a defect."""
+        chain = read_ctmc_tra(FIXTURES / "defect_deadlock.tra")
+        goal = np.array([False, True])
+        assert lint_graph(chain, goal=goal) == []
+
+
+class TestCleanModels:
+    def test_ftwc_is_graph_clean(self):
+        model = ftwc_direct.build_ctmdp(1)
+        assert lint_graph(model.ctmdp, goal=model.goal_mask) == []
+
+    def test_without_goal_only_goal_free_codes(self):
+        ctmdp = read_ctmdp_tra(FIXTURES / "defect_unreachable_goal.tra")
+        # No goal known: Q001/Q002 cannot fire, and there is no deadlock.
+        assert lint_graph(ctmdp) == []
+
+
+class TestFileFrontend:
+    def test_lint_path_graph_flag(self):
+        report = lint_path(FIXTURES / "defect_trap_mec.tra", graph=True)
+        assert "Q002" in report.codes()
+        # Without the flag the graph pass stays off.
+        plain = lint_path(FIXTURES / "defect_trap_mec.tra")
+        assert not any(code.startswith("Q") for code in plain.codes())
+
+    def test_sibling_goal_mask_prefers_goal_proposition(self):
+        mask = sibling_goal_mask(FIXTURES / "defect_trap_mec.tra", 4)
+        np.testing.assert_array_equal(mask, [False, True, False, False])
+
+    def test_sibling_goal_mask_absent_lab(self, tmp_path):
+        target = tmp_path / "model.tra"
+        target.write_text("STATES 1\nTRANSITIONS 0\n", encoding="utf-8")
+        assert sibling_goal_mask(target, 1) is None
+
+
+class TestSeverityRegistry:
+    @pytest.mark.parametrize("code", ["Q001", "Q002", "Q003", "Q004"])
+    def test_codes_registered(self, code):
+        from repro.lint import CODES
+
+        severity, title = CODES[code]
+        assert title
+        assert severity in (Severity.ERROR, Severity.WARNING)

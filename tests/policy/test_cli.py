@@ -173,3 +173,56 @@ class TestPolicyCommand:
         )
         assert code == 2
         assert "no such artifact" in capsys.readouterr().err
+
+
+class TestReplayAgainstModelFile:
+    @pytest.fixture()
+    def exported_model(self, tmp_path):
+        """The FTWC N=1 uCTMDP exported to an on-disk .tra/.lab pair."""
+        prefix = tmp_path / "ftwc1"
+        assert main(["export", "--n", "1", "--out-prefix", str(prefix)]) == 0
+        assert prefix.with_suffix(".tra").exists()
+        assert prefix.with_suffix(".lab").exists()
+        return prefix.with_suffix(".tra")
+
+    def test_replay_against_exported_tra(self, saved_policy, exported_model, capsys):
+        code = main(
+            ["policy", "replay", str(saved_policy), "--against", str(exported_model)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "induced-chain ok" in out
+        assert "deviation" in out
+
+    def test_replay_against_json_report(self, saved_policy, exported_model, capsys):
+        code = main(
+            [
+                "policy", "replay", str(saved_policy),
+                "--against", str(exported_model), "--format", "json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"], report
+        assert report["certificate"]["status"] == "ok"
+
+    def test_missing_labels_is_a_usage_error(self, saved_policy, tmp_path, capsys):
+        bare = tmp_path / "bare.tra"
+        prefix = tmp_path / "full"
+        assert main(["export", "--n", "1", "--out-prefix", str(prefix)]) == 0
+        bare.write_bytes(prefix.with_suffix(".tra").read_bytes())
+        code = main(["policy", "replay", str(saved_policy), "--against", str(bare)])
+        assert code == 2
+        assert "lab" in capsys.readouterr().err.lower()
+
+    def test_unknown_goal_label_is_a_usage_error(
+        self, saved_policy, exported_model, capsys
+    ):
+        code = main(
+            [
+                "policy", "replay", str(saved_policy),
+                "--against", str(exported_model), "--goal", "no_such_label",
+            ]
+        )
+        assert code == 2
+        assert "no_such_label" in capsys.readouterr().err

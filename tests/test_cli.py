@@ -206,6 +206,91 @@ class TestLintCommand:
         assert "U001" in out
         assert "clean" in out
 
+    def test_graph_flag_reports_q_codes(self, capsys):
+        targets = [
+            str(self.FIXTURES / "defect_unreachable_goal.tra"),
+            str(self.FIXTURES / "defect_trap_mec.tra"),
+            str(self.FIXTURES / "defect_deadlock.tra"),
+            str(self.FIXTURES / "defect_zeno.json"),
+        ]
+        assert main(["lint", "--graph", "--format", "json"] + targets) == 1
+        document = json.loads(capsys.readouterr().out)
+        found = {
+            d["code"]
+            for report in document["reports"]
+            for d in report["diagnostics"]
+        }
+        assert {"Q001", "Q002", "Q003", "Q004"} <= found
+
+    def test_graph_flag_off_by_default(self, capsys):
+        path = str(self.FIXTURES / "defect_trap_mec.tra")
+        assert main(["lint", path]) == 0
+        assert "Q002" not in capsys.readouterr().out
+
+    def test_builtin_ftwc_is_graph_clean(self, capsys):
+        assert main(["lint", "--graph", "--model", "ftwc", "-n", "1"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    FIXTURES = Path(__file__).parent / "fixtures"
+
+    def test_builtin_family_text(self, capsys):
+        assert main(["analyze", "ftwc", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "states           275 (275 reachable" in out
+        assert "Prob1E=275" in out
+
+    def test_file_json(self, capsys):
+        path = str(self.FIXTURES / "defect_trap_mec.tra")
+        assert main(["analyze", path, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["target"] == path
+        assert document["scc"]["count"] == 3
+        assert document["trap_mecs"] == [[2, 3]]
+
+    def test_goal_label_override(self, capsys):
+        path = str(self.FIXTURES / "defect_trap_mec.tra")
+        assert main(["analyze", path, "--goal", "goal", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["goal_states"] == 1
+
+    def test_unknown_family_is_usage_error(self, capsys):
+        assert main(["analyze", "frobnicate"]) == 2
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "missing.tra")]) == 2
+
+
+class TestCheckPrecompute:
+    def parse_value(self, out: str) -> float:
+        # First line: <query> = <value>; a certificate line follows.
+        return float(out.splitlines()[0].split("=")[-1].strip())
+
+    def test_precompute_matches_plain_check(self, capsys):
+        query = 'Pmax=? [ F<=100 "no_premium" ]'
+        assert main(["check", query, "--n", "1"]) == 3
+        plain = self.parse_value(capsys.readouterr().out)
+        assert main(["check", query, "--n", "1", "--precompute"]) == 3
+        clamped = self.parse_value(capsys.readouterr().out)
+        assert abs(plain - clamped) < 1e-9
+
+    def test_batch_precompute_counts_eliminated_states(self, tmp_path, capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(
+            json.dumps([{"model": {"family": "ftwc", "n": 1}, "t": 10.0}]),
+            encoding="utf-8",
+        )
+        code = main(
+            ["batch", str(queries), "--precompute",
+             "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        counters = document["metrics"]["counters"]
+        assert counters["precompute_states_eliminated"] > 0
+        assert all(r["error"] is None for r in document["results"])
+
 
 class TestBatchCommand:
     def test_batch_smoke_file(self, tmp_path, capsys):
