@@ -1,6 +1,7 @@
 """Bisimulations: partition refinement, strong & branching variants, lumping."""
 
 from repro.bisim.branching import (
+    ENGINES,
     branching_bisimulation,
     branching_minimize,
     is_stochastic_branching_bisimulation,
@@ -10,13 +11,16 @@ from repro.bisim.ctmdp_bisim import ctmdp_bisimulation, ctmdp_equivalent, ctmdp_
 from repro.bisim.lumping import lump, lumping_partition
 from repro.bisim.partition import Partition, refine_to_fixpoint
 from repro.bisim.quotient import map_labels_through, quotient_imc
+from repro.bisim.signatures import quantize_rate, rate_signature, stable_rate_sum
 from repro.bisim.strong import strong_bisimulation, strong_minimize
 from repro.bisim.weak import weak_bisimulation, weak_minimize
+from repro.bisim.worklist import worklist_refine
 
 __all__ = [
     "are_branching_bisimilar",
     "are_strongly_bisimilar",
     "disjoint_union",
+    "ENGINES",
     "branching_bisimulation",
     "branching_minimize",
     "is_stochastic_branching_bisimulation",
@@ -29,8 +33,12 @@ __all__ = [
     "refine_to_fixpoint",
     "map_labels_through",
     "quotient_imc",
+    "quantize_rate",
+    "rate_signature",
+    "stable_rate_sum",
     "strong_bisimulation",
     "strong_minimize",
     "weak_bisimulation",
     "weak_minimize",
+    "worklist_refine",
 ]

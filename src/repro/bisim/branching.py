@@ -9,18 +9,25 @@ condition only constrains *stable* states, and condition 2 of the
 definition forces related stable states to carry identical cumulative
 rates (hence identical exit rates).
 
-The implementation is signature-based partition refinement in the style
-of Blom & Orzan: per round, every state is assigned
+Two refinement engines compute the partition:
 
-* its set of *non-inert* moves ``(a, target block)`` reachable through
-  inert (same-block) ``tau`` sequences, and
-* the set of per-block cumulative-rate signatures of the *stable* states
-  it can reach through inert ``tau`` sequences,
+* ``engine="worklist"`` (the default) -- the vectorised worklist
+  refinement of :mod:`repro.bisim.worklist`: CSR-encoded adjacency,
+  dirty-block tracking, block-local inert-``tau`` SCC condensation and
+  ``lexsort``-based signature grouping.  This is the fast path the
+  compositional pipeline runs on (see ``BENCH_bisim.json``).
+* ``engine="naive"`` -- the original Blom & Orzan-style signature
+  refinement kept verbatim as the readable reference implementation:
+  per round, every state is assigned its set of non-inert
+  ``(a, target block)`` moves reachable through inert (same-block)
+  ``tau`` sequences and the set of per-block cumulative-rate signatures
+  of the *stable* states it reaches the same way, and blocks are split
+  by signature.
 
-and blocks are split by signature.  Inert reachability is computed per
-round via a strongly-connected-component condensation of the inert
-``tau`` graph followed by propagation in reverse topological order, so
-``tau`` cycles (divergence) are handled without special cases.
+Both engines walk through the identical sequence of partitions (the
+property-based tests cross-check equality on random IMCs), and both
+compare cumulative rates through the shared float-robust quantisation
+of :mod:`repro.bisim.signatures`.
 
 The refinement fixpoint always *is* a stochastic branching bisimulation
 (this is verified exhaustively on random models in the test suite via
@@ -39,8 +46,11 @@ from scipy.sparse.csgraph import connected_components
 
 from repro.bisim.partition import Partition, refine_to_fixpoint
 from repro.bisim.quotient import quotient_imc
+from repro.bisim.signatures import markov_rate_pairs, rate_signature
+from repro.bisim.worklist import worklist_refine
+from repro.errors import ModelError
 from repro.imc.model import IMC, TAU
-from repro.obs import span
+from repro.obs import MetricStore, span
 
 __all__ = [
     "branching_bisimulation",
@@ -48,16 +58,20 @@ __all__ = [
     "is_stochastic_branching_bisimulation",
 ]
 
-_RATE_DIGITS = 12
+#: The selectable refinement engines.
+ENGINES = ("worklist", "naive")
 
 
 def _rate_signature(imc: IMC, state: int, block_of: np.ndarray) -> frozenset:
-    """Cumulative-rate signature ``{(block, Rate(state, block))}``."""
-    rates: dict[int, float] = {}
-    for rate, target in imc.markov_successors(state):
-        block = int(block_of[target])
-        rates[block] = rates.get(block, 0.0) + rate
-    return frozenset((block, round(rate, _RATE_DIGITS)) for block, rate in rates.items())
+    """Cumulative-rate signature ``{(block, Rate(state, block))}``.
+
+    Accumulation is order-independent (sorted ``fsum``) and the sums are
+    quantised on the shared relative grid of
+    :mod:`repro.bisim.signatures`, so rates straddling a decimal
+    rounding boundary can no longer split blocks that Definition 6 says
+    must merge.
+    """
+    return rate_signature(markov_rate_pairs(imc, state, block_of))
 
 
 def _signatures(imc: IMC, partition: Partition) -> list[Hashable]:
@@ -123,8 +137,19 @@ def _signatures(imc: IMC, partition: Partition) -> list[Hashable]:
     ]
 
 
+def _initial_partition(imc: IMC, labels: Sequence[Hashable] | None) -> Partition:
+    return (
+        Partition.from_labels(labels)
+        if labels is not None
+        else Partition.trivial(imc.num_states)
+    )
+
+
 def branching_bisimulation(
-    imc: IMC, labels: Sequence[Hashable] | None = None
+    imc: IMC,
+    labels: Sequence[Hashable] | None = None,
+    engine: str = "worklist",
+    metrics: MetricStore | None = None,
 ) -> Partition:
     """Compute a stochastic branching bisimulation partition.
 
@@ -136,17 +161,29 @@ def branching_bisimulation(
         Optional per-state atomic propositions seeding the initial
         partition; states with different labels are never merged, so
         goal predicates survive the quotient.
+    engine:
+        ``"worklist"`` (vectorised dirty-block refinement, the default)
+        or ``"naive"`` (the reference signature engine).  Both compute
+        the same fixpoint.
+    metrics:
+        Optional :class:`~repro.obs.MetricStore` receiving ``bisim_*``
+        counters (worklist engine only).
     """
-    initial = (
-        Partition.from_labels(labels)
-        if labels is not None
-        else Partition.trivial(imc.num_states)
-    )
+    if engine not in ENGINES:
+        raise ModelError(
+            f"unknown refinement engine {engine!r}; expected one of {ENGINES}"
+        )
+    initial = _initial_partition(imc, labels)
+    if engine == "worklist":
+        return worklist_refine(imc, initial, metrics=metrics)
     return refine_to_fixpoint(initial, lambda p: _signatures(imc, p))
 
 
 def branching_minimize(
-    imc: IMC, labels: Sequence[Hashable] | None = None
+    imc: IMC,
+    labels: Sequence[Hashable] | None = None,
+    engine: str = "worklist",
+    metrics: MetricStore | None = None,
 ) -> tuple[IMC, Partition]:
     """Quotient ``imc`` by stochastic branching bisimilarity.
 
@@ -154,9 +191,14 @@ def branching_minimize(
     together with the partition for predicate mapping.  By Corollary 1
     the quotient is uniform iff the input is.
     """
-    with span("bisim.minimize", states=imc.num_states) as sp:
-        partition = branching_bisimulation(imc, labels)
+    with span("bisim.minimize", states=imc.num_states, engine=engine) as sp:
+        partition = branching_bisimulation(imc, labels, engine=engine, metrics=metrics)
         quotient = quotient_imc(imc, partition, drop_inert_tau=True)
+        if metrics is not None:
+            metrics.count("bisim_minimize_calls")
+            metrics.count(
+                "bisim_states_eliminated", imc.num_states - quotient.num_states
+            )
         if sp is not None:
             sp.annotate(blocks=partition.num_blocks, quotient_states=quotient.num_states)
     return quotient, partition

@@ -21,35 +21,36 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-import numpy as np
-
 from repro.bisim.partition import Partition, refine_to_fixpoint
+from repro.bisim.signatures import rate_signature, stable_rate_sum
 from repro.core.ctmdp import CTMDP
 from repro.errors import ModelError
 
 __all__ = ["ctmdp_bisimulation", "ctmdp_minimize", "ctmdp_equivalent"]
 
-_RATE_DIGITS = 12
+
+def _choice_rate_signature(
+    ctmdp: CTMDP, row: int, block_of
+) -> frozenset[tuple[int, float]]:
+    """Quantised per-block cumulative rates of one nondeterministic choice."""
+    matrix = ctmdp.rate_matrix
+    start, end = matrix.indptr[row], matrix.indptr[row + 1]
+    return rate_signature(
+        (int(block_of[target]), float(rate))
+        for target, rate in zip(matrix.indices[start:end], matrix.data[start:end])
+    )
 
 
 def _signatures(
     ctmdp: CTMDP, partition: Partition, respect_actions: bool
 ) -> list[Hashable]:
     block_of = partition.block_of
-    matrix = ctmdp.rate_matrix
     result: list[Hashable] = []
     for state in range(ctmdp.num_states):
         lo, hi = ctmdp.choice_ptr[state], ctmdp.choice_ptr[state + 1]
         choices = set()
         for row in range(lo, hi):
-            start, end = matrix.indptr[row], matrix.indptr[row + 1]
-            rates: dict[int, float] = {}
-            for target, rate in zip(matrix.indices[start:end], matrix.data[start:end]):
-                block = int(block_of[target])
-                rates[block] = rates.get(block, 0.0) + float(rate)
-            rate_sig = frozenset(
-                (block, round(rate, _RATE_DIGITS)) for block, rate in rates.items()
-            )
+            rate_sig = _choice_rate_signature(ctmdp, row, block_of)
             if respect_actions:
                 choices.add((ctmdp.labels[row], rate_sig))
             else:
@@ -113,13 +114,16 @@ def ctmdp_minimize(
         seen: set[tuple[str, frozenset]] = set()
         for row in range(lo, hi):
             start, end = matrix.indptr[row], matrix.indptr[row + 1]
-            rates: dict[int, float] = {}
+            contributions: dict[int, list[float]] = {}
             for target, rate in zip(matrix.indices[start:end], matrix.data[start:end]):
-                target_block = int(block_of[target])
-                rates[target_block] = rates.get(target_block, 0.0) + float(rate)
+                contributions.setdefault(int(block_of[target]), []).append(float(rate))
+            rates = {
+                target_block: stable_rate_sum(parts)
+                for target_block, parts in contributions.items()
+            }
             key = (
                 ctmdp.labels[row] if respect_actions else "",
-                frozenset((b, round(r, _RATE_DIGITS)) for b, r in rates.items()),
+                _choice_rate_signature(ctmdp, row, block_of),
             )
             if key in seen:
                 continue

@@ -12,25 +12,23 @@ from __future__ import annotations
 
 from typing import Hashable, Sequence
 
-import numpy as np
-
 from repro.bisim.partition import Partition, refine_to_fixpoint
+from repro.bisim.signatures import rate_signature, stable_rate_sum
 from repro.ctmc.model import CTMC
 
 __all__ = ["lump", "lumping_partition"]
-
-_RATE_DIGITS = 12
 
 
 def _signatures(ctmc: CTMC, partition: Partition) -> list[Hashable]:
     block_of = partition.block_of
     result: list[Hashable] = []
     for state in range(ctmc.num_states):
-        rates: dict[int, float] = {}
-        for target, rate in ctmc.successors(state):
-            block = int(block_of[target])
-            rates[block] = rates.get(block, 0.0) + rate
-        result.append(frozenset((b, round(r, _RATE_DIGITS)) for b, r in rates.items()))
+        result.append(
+            rate_signature(
+                (int(block_of[target]), rate)
+                for target, rate in ctmc.successors(state)
+            )
+        )
     return result
 
 
@@ -63,11 +61,13 @@ def lump(
         representative.setdefault(block, state)
     transitions: list[tuple[int, int, float]] = []
     for block, state in representative.items():
-        rates: dict[int, float] = {}
+        rates: dict[int, list[float]] = {}
         for target, rate in ctmc.successors(state):
-            target_block = int(block_of[target])
-            rates[target_block] = rates.get(target_block, 0.0) + rate
-        transitions.extend((block, target, rate) for target, rate in rates.items())
+            rates.setdefault(int(block_of[target]), []).append(rate)
+        transitions.extend(
+            (block, target, stable_rate_sum(contributions))
+            for target, contributions in rates.items()
+        )
     lumped = CTMC.from_transitions(
         canon.num_blocks, transitions, initial=int(block_of[ctmc.initial])
     )

@@ -17,6 +17,8 @@ from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ConvergenceError
+
 __all__ = ["Partition", "refine_to_fixpoint"]
 
 
@@ -71,14 +73,15 @@ class Partition:
 
     def canonical(self) -> "Partition":
         """Renumber blocks by first occurrence; idempotent."""
-        mapping: dict[int, int] = {}
-        new = np.empty_like(self.block_of)
-        for state, block in enumerate(self.block_of):
-            key = int(block)
-            if key not in mapping:
-                mapping[key] = len(mapping)
-            new[state] = mapping[key]
-        return Partition(block_of=new)
+        if not len(self.block_of):
+            return Partition(block_of=self.block_of.copy())
+        _, first, inverse = np.unique(
+            self.block_of, return_index=True, return_inverse=True
+        )
+        # Rank the (value-sorted) unique blocks by their first occurrence.
+        rank = np.empty(len(first), dtype=np.int64)
+        rank[np.argsort(first, kind="stable")] = np.arange(len(first), dtype=np.int64)
+        return Partition(block_of=rank[inverse].astype(np.int64))
 
     def same_block(self, s: int, t: int) -> bool:
         """True iff ``s`` and ``t`` share a block."""
@@ -120,6 +123,7 @@ def refine_to_fixpoint(
     initial: Partition,
     signature_fn: Callable[[Partition], Sequence[Hashable]],
     max_rounds: int | None = None,
+    allow_unconverged: bool = False,
 ) -> Partition:
     """Iterate signature refinement until no block splits.
 
@@ -131,9 +135,21 @@ def refine_to_fixpoint(
     signature_fn:
         Maps the current partition to per-state signatures.
     max_rounds:
-        Optional safety bound; refinement terminates after at most
-        ``num_states`` rounds anyway because every round that does not
-        reach the fixpoint strictly increases the block count.
+        Optional round bound; refinement terminates after at most
+        ``num_states + 1`` rounds anyway because every round that does
+        not reach the fixpoint strictly increases the block count.
+    allow_unconverged:
+        By default, exhausting ``max_rounds`` before the fixpoint raises
+        :class:`~repro.errors.ConvergenceError` -- a non-fixpoint
+        partition is not a bisimulation, and quotienting by one is
+        unsound.  Pass ``True`` to get the partial (still valid, merely
+        too-coarse-to-trust) partition instead.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``max_rounds`` rounds did not reach the fixpoint and
+        ``allow_unconverged`` is not set.
     """
     partition = initial.canonical()
     bound = max_rounds if max_rounds is not None else partition.num_states + 1
@@ -142,4 +158,11 @@ def refine_to_fixpoint(
         if refined.num_blocks == partition.num_blocks:
             return refined
         partition = refined
-    return partition
+    if allow_unconverged:
+        return partition
+    raise ConvergenceError(
+        f"partition refinement did not reach its fixpoint within "
+        f"{bound} rounds ({partition.num_blocks} blocks and still splitting); "
+        f"the partial partition is not a bisimulation -- raise max_rounds or "
+        f"pass allow_unconverged=True to accept it anyway"
+    )

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.bisim.partition import Partition
-from repro.errors import ModelError
+from repro.errors import LintError, ModelError
 from repro.imc.model import IMC, TAU
 
 __all__ = ["quotient_imc", "map_labels_through"]
@@ -25,56 +29,51 @@ def quotient_imc(imc: IMC, partition: Partition, drop_inert_tau: bool) -> IMC:
         keep them as ``tau`` self-loops.
 
     Markov transitions of the quotient are taken from the *stable*
-    members of each block (cumulative per target block); blocks without
-    stable members carry no Markov transitions, reflecting maximal
-    progress.  For valid bisimulations all stable members of a block
-    agree on these rates.
+    members of each block (cumulative per target block; contributions
+    folded order-independently with ``fsum``); blocks without stable
+    members carry no Markov transitions, reflecting maximal progress.
+    For valid bisimulations all stable members of a block agree on these
+    rates -- with sanitizing enabled (``REPRO_SANITIZE=1`` or the
+    :func:`repro.lint.sanitizing` context) this is *verified* up to the
+    shared quantisation tolerance and a ``P006`` lint diagnostic is
+    raised on mismatch instead of silently picking one member.
     """
     if partition.num_states != imc.num_states:
         raise ModelError("partition size does not match the IMC state space")
     canon = partition.canonical()
     block_of = canon.block_of
     num_blocks = canon.num_blocks
+    stable = imc.stable_mask()
 
-    interactive: set[tuple[int, str, int]] = set()
-    for src, action, dst in imc.interactive:
-        b_src, b_dst = int(block_of[src]), int(block_of[dst])
-        if drop_inert_tau and action == TAU and b_src == b_dst:
-            continue
-        interactive.add((b_src, action, b_dst))
+    i_src, i_act, i_dst, actions = imc.encoded_interactive()
+    b_src, b_dst = block_of[i_src], block_of[i_dst]
+    if drop_inert_tau:
+        keep = ~((i_act == 0) & (b_src == b_dst))
+        b_src, i_act, b_dst = b_src[keep], i_act[keep], b_dst[keep]
+    num_actions = max(len(actions), 1)
+    packed = (b_src * np.int64(num_actions) + i_act) * np.int64(num_blocks) + b_dst
+    packed = np.unique(packed)
+    q_dst = packed % num_blocks
+    q_src, q_act = (packed // num_blocks) // num_actions, (packed // num_blocks) % num_actions
+    interactive = {
+        (int(s), actions[int(a)], int(t))
+        for s, a, t in zip(q_src, q_act, q_dst)
+    }
 
+    has_stable = np.zeros(num_blocks, dtype=bool)
+    has_stable[block_of[stable]] = True
     if drop_inert_tau:
         # A block whose members are all unstable must stay unstable in
         # the quotient: if every member's tau moves were inert (dropped
         # above), the block is divergent and keeps a tau self-loop.
         # Otherwise a divergent block would turn into a stable state of
         # exit rate zero, breaking both behaviour and uniformity.
-        has_stable = [False] * num_blocks
-        for state in range(imc.num_states):
-            if imc.is_stable(state):
-                has_stable[int(block_of[state])] = True
-        has_tau = [False] * num_blocks
-        for b_src, action, _b_dst in interactive:
-            if action == TAU:
-                has_tau[b_src] = True
-        for block in range(num_blocks):
-            if not has_stable[block] and not has_tau[block]:
-                interactive.add((block, TAU, block))
+        has_tau = np.zeros(num_blocks, dtype=bool)
+        has_tau[b_src[i_act == 0]] = True
+        for block in np.flatnonzero(~has_stable & ~has_tau):
+            interactive.add((int(block), TAU, int(block)))
 
-    # One stable representative per block provides the Markov rates.
-    representative: dict[int, int] = {}
-    for state in range(imc.num_states):
-        block = int(block_of[state])
-        if block not in representative and imc.is_stable(state):
-            representative[block] = state
-
-    markov: list[tuple[int, float, int]] = []
-    for block, state in representative.items():
-        rates: dict[int, float] = {}
-        for rate, target in imc.markov_successors(state):
-            target_block = int(block_of[target])
-            rates[target_block] = rates.get(target_block, 0.0) + rate
-        markov.extend((block, rate, target) for target, rate in rates.items() if rate > 0.0)
+    markov = _quotient_markov(imc, block_of, stable)
 
     names = [""] * num_blocks
     sizes = [0] * num_blocks
@@ -94,6 +93,82 @@ def quotient_imc(imc: IMC, partition: Partition, drop_inert_tau: bool) -> IMC:
         initial=int(block_of[imc.initial]),
         state_names=names,
     )
+
+
+def _quotient_markov(
+    imc: IMC, block_of: np.ndarray, stable: np.ndarray
+) -> list[tuple[int, float, int]]:
+    """Markov transitions of the quotient, from stable representatives.
+
+    With sanitizing enabled, the quantised per-block rate signatures of
+    *all* stable members of every block are cross-checked first.
+    """
+    from repro.lint.sanitize import sanitize_enabled
+
+    if sanitize_enabled():
+        _check_block_rate_agreement(imc, block_of, stable)
+
+    m_src, m_rate, m_dst = imc.encoded_markov()
+    if not len(m_src):
+        return []
+    # One stable representative per block provides the rates (all stable
+    # members agree for valid bisimulations; see the check above).
+    stable_states = np.flatnonzero(stable)
+    _, first = np.unique(block_of[stable_states], return_index=True)
+    is_representative = np.zeros(imc.num_states, dtype=bool)
+    is_representative[stable_states[first]] = True
+
+    keep = is_representative[m_src]
+    src_block = block_of[m_src[keep]]
+    dst_block = block_of[m_dst[keep]]
+    rates = m_rate[keep]
+    order = np.lexsort((rates, dst_block, src_block))
+    src_block, dst_block, rates = src_block[order], dst_block[order], rates[order]
+    head = np.ones(len(rates), dtype=bool)
+    head[1:] = (src_block[1:] != src_block[:-1]) | (dst_block[1:] != dst_block[:-1])
+    starts = np.flatnonzero(head)
+    sizes = np.diff(np.append(starts, len(rates)))
+    markov: list[tuple[int, float, int]] = []
+    for start, size in zip(starts.tolist(), sizes.tolist()):
+        rate = rates[start] if size == 1 else math.fsum(rates[start: start + size])
+        if rate > 0.0:
+            markov.append((int(src_block[start]), float(rate), int(dst_block[start])))
+    return markov
+
+
+def _check_block_rate_agreement(
+    imc: IMC, block_of: np.ndarray, stable: np.ndarray
+) -> None:
+    """Verify all stable members of each block carry the same quantised
+    cumulative-rate signature; raise a ``P006`` lint diagnostic otherwise."""
+    from repro.bisim.signatures import markov_rate_pairs, rate_signature
+    from repro.lint.diagnostics import make_diagnostic
+
+    signatures: dict[int, tuple[frozenset, int]] = {}
+    mismatches: list[tuple[int, int, int]] = []
+    for state in np.flatnonzero(stable).tolist():
+        block = int(block_of[state])
+        signature = rate_signature(markov_rate_pairs(imc, state, block_of))
+        reference = signatures.get(block)
+        if reference is None:
+            signatures[block] = (signature, state)
+        elif signature != reference[0]:
+            mismatches.append((block, reference[1], state))
+    if mismatches:
+        block, witness, offender = mismatches[0]
+        diagnostic = make_diagnostic(
+            "P006",
+            message=(
+                f"stable states {witness} and {offender} of quotient block {block} "
+                f"disagree on their cumulative-rate signature (beyond the shared "
+                f"quantisation tolerance); the partition is not a stochastic "
+                f"branching bisimulation, so its quotient would be unsound"
+                + (f" (+{len(mismatches) - 1} more blocks)" if len(mismatches) > 1 else "")
+            ),
+            states=[witness, offender],
+            location="bisim.quotient",
+        )
+        raise LintError(f"sanitizer rejected quotient construction: {diagnostic}")
 
 
 def map_labels_through(partition: Partition, labels: list) -> list:

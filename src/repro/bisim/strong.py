@@ -17,7 +17,8 @@ from typing import Hashable, Sequence
 
 from repro.bisim.partition import Partition, refine_to_fixpoint
 from repro.bisim.quotient import quotient_imc
-from repro.imc.model import IMC, TAU
+from repro.bisim.signatures import markov_rate_pairs, rate_signature
+from repro.imc.model import IMC
 
 __all__ = ["strong_bisimulation", "strong_minimize"]
 
@@ -27,7 +28,8 @@ def _signatures(imc: IMC, partition: Partition) -> list[Hashable]:
 
     The signature combines the set of ``(action, target block)`` pairs of
     interactive transitions with, for stable states, the cumulative rate
-    into each block.
+    into each block (order-independent and quantised on the shared
+    relative grid of :mod:`repro.bisim.signatures`).
     """
     block_of = partition.block_of
     result: list[Hashable] = []
@@ -37,13 +39,7 @@ def _signatures(imc: IMC, partition: Partition) -> list[Hashable]:
             for action, target in imc.interactive_successors(state)
         )
         if imc.is_stable(state):
-            rates: dict[int, float] = {}
-            for rate, target in imc.markov_successors(state):
-                block = int(block_of[target])
-                rates[block] = rates.get(block, 0.0) + rate
-            markov: Hashable = frozenset(
-                (block, round(rate, 12)) for block, rate in rates.items()
-            )
+            markov: Hashable = rate_signature(markov_rate_pairs(imc, state, block_of))
         else:
             markov = "unstable"
         result.append((interactive, markov))

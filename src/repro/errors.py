@@ -15,6 +15,7 @@ __all__ = [
     "LintError",
     "TransformationError",
     "NumericalError",
+    "ConvergenceError",
     "CompositionError",
     "SchedulerError",
 ]
@@ -65,6 +66,17 @@ class NumericalError(ReproError):
 
     For instance the Fox-Glynn weighter may underflow for extreme
     truncation-point / precision combinations.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative fixpoint computation exhausted its round budget.
+
+    Raised by :func:`repro.bisim.partition.refine_to_fixpoint` when a
+    caller-supplied ``max_rounds`` bound is hit before the signature
+    fixpoint: the partial partition is *not* a bisimulation, so
+    quotienting by it would be unsound.  Callers that genuinely want the
+    partial result pass ``allow_unconverged=True`` instead.
     """
 
 

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import ModelError
 
 __all__ = ["TAU", "StateClass", "IMC", "IMCBuilder"]
@@ -89,6 +91,9 @@ class IMC:
                 raise ModelError(f"Markov rates must be positive and finite, got {rate}")
         self._inter_by_src: list[list[tuple[str, int]]] | None = None
         self._markov_by_src: list[list[tuple[float, int]]] | None = None
+        self._stable_mask: np.ndarray | None = None
+        self._encoded_interactive: tuple | None = None
+        self._encoded_markov: tuple | None = None
 
     # ------------------------------------------------------------------
     # Adjacency caches
@@ -116,6 +121,60 @@ class IMC:
     def markov_successors(self, state: int) -> list[tuple[float, int]]:
         """All ``(rate, target)`` pairs of Markov transitions from ``state``."""
         return self._markov_adj()[state]
+
+    # ------------------------------------------------------------------
+    # Vectorised views (shared by the bisimulation engines)
+    # ------------------------------------------------------------------
+    def stable_mask(self) -> np.ndarray:
+        """Boolean array: ``mask[s]`` iff ``s`` has no outgoing ``tau``."""
+        if self._stable_mask is None:
+            mask = np.ones(self.num_states, dtype=bool)
+            for src, action, _ in self.interactive:
+                if action == TAU:
+                    mask[src] = False
+            self._stable_mask = mask
+        return self._stable_mask
+
+    def encoded_interactive(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str]]:
+        """Interactive transitions as ``(src, act, dst, actions)`` arrays.
+
+        ``act`` holds indices into the returned ``actions`` table;
+        :data:`TAU` is always action code ``0`` (present in the table
+        even when the model has no internal transitions).  The arrays
+        are cached on the (immutable-by-convention) model.
+        """
+        if self._encoded_interactive is None:
+            codes: dict[str, int] = {TAU: 0}
+            count = len(self.interactive)
+            src = np.empty(count, dtype=np.int64)
+            act = np.empty(count, dtype=np.int64)
+            dst = np.empty(count, dtype=np.int64)
+            for i, (s, action, t) in enumerate(self.interactive):
+                src[i] = s
+                dst[i] = t
+                code = codes.get(action)
+                if code is None:
+                    code = codes[action] = len(codes)
+                act[i] = code
+            actions = [""] * len(codes)
+            for action, code in codes.items():
+                actions[code] = action
+            self._encoded_interactive = (src, act, dst, actions)
+        return self._encoded_interactive
+
+    def encoded_markov(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Markov transitions as ``(src, rate, dst)`` arrays (cached)."""
+        if self._encoded_markov is None:
+            count = len(self.markov)
+            src = np.empty(count, dtype=np.int64)
+            rate = np.empty(count, dtype=np.float64)
+            dst = np.empty(count, dtype=np.int64)
+            for i, (s, r, t) in enumerate(self.markov):
+                src[i] = s
+                rate[i] = r
+                dst[i] = t
+            self._encoded_markov = (src, rate, dst)
+        return self._encoded_markov
 
     # ------------------------------------------------------------------
     # Basic queries

@@ -90,6 +90,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "P003": (Severity.ERROR, "bisimulation quotient broke uniformity (Lemma 3)"),
     "P004": (Severity.ERROR, "hiding broke uniformity (Lemma 1)"),
     "P005": (Severity.ERROR, "parallel composition broke rate additivity (Lemma 2)"),
+    "P006": (Severity.ERROR, "quotient block members disagree on cumulative rates"),
     # --- Whole-model graph analysis --------------------------------------
     "Q001": (Severity.ERROR, "goal unreachable from the initial state"),
     "Q002": (Severity.WARNING, "goal-free absorbing end component (probability trap)"),

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bisim.partition import Partition, refine_to_fixpoint
+from repro.errors import ConvergenceError
 
 
 class TestConstruction:
@@ -82,3 +83,40 @@ class TestFixpoint:
         result = refine_to_fixpoint(initial, lambda p: [0, 0, 0])
         assert result.is_refinement_of(initial)
         assert result.num_blocks == 2
+
+
+class TestConvergenceBound:
+    """``max_rounds`` exhaustion must not silently return a non-fixpoint."""
+
+    @staticmethod
+    def _chain_signature(p: Partition):
+        # Chain 0 -> 1 -> 2 -> 3: needs three rounds to reach singletons.
+        succ = {0: 1, 1: 2, 2: 3, 3: 3}
+        return [(int(p.block_of[succ[s]]), s == 3) for s in range(4)]
+
+    def test_raises_when_bound_exhausted_before_fixpoint(self):
+        with pytest.raises(ConvergenceError, match="did not reach its fixpoint"):
+            refine_to_fixpoint(
+                Partition.trivial(4), self._chain_signature, max_rounds=1
+            )
+
+    def test_allow_unconverged_returns_partial_refinement(self):
+        partial = refine_to_fixpoint(
+            Partition.trivial(4),
+            self._chain_signature,
+            max_rounds=1,
+            allow_unconverged=True,
+        )
+        # One round of the chain splits off state 3 only: not the fixpoint.
+        assert partial.num_blocks < 4
+
+    def test_sufficient_bound_converges_normally(self):
+        result = refine_to_fixpoint(
+            Partition.trivial(4), self._chain_signature, max_rounds=4
+        )
+        assert result.num_blocks == 4
+
+    def test_default_bound_never_triggers(self):
+        # n + 1 rounds always suffice: each non-final round adds a block.
+        result = refine_to_fixpoint(Partition.trivial(6), lambda p: [0] * 6)
+        assert result.num_blocks == 1

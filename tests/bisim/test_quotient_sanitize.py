@@ -1,0 +1,76 @@
+"""Sanitizer checks of the quotient construction (code ``P006``).
+
+``quotient_imc`` takes the Markov rates of the quotient from one stable
+representative per block.  For a genuine bisimulation all stable
+members agree; for a bogus partition the construction would silently
+pick one member and produce an unsound model.  With sanitizing enabled
+the agreement is verified up to the shared quantisation tolerance.
+"""
+
+import pytest
+
+from repro.bisim.partition import Partition
+from repro.bisim.quotient import quotient_imc
+from repro.errors import LintError
+from repro.imc.model import IMC
+from repro.lint import sanitizing
+
+
+def _two_state_blocks(imc: IMC) -> Partition:
+    """{0, 1} in one block, everything else singleton."""
+    import numpy as np
+
+    block_of = np.arange(imc.num_states, dtype=np.int64)
+    block_of[1] = 0
+    return Partition(block_of=block_of).canonical()
+
+
+class TestBlockRateAgreement:
+    def test_disagreeing_members_rejected(self):
+        # 0 and 1 carry genuinely different rates into block {2}: the
+        # partition is not a bisimulation, so the quotient is refused.
+        imc = IMC(num_states=3, markov=[(0, 1.0, 2), (1, 2.0, 2), (2, 1.0, 2)])
+        partition = _two_state_blocks(imc)
+        with sanitizing():
+            with pytest.raises(LintError, match="P006"):
+                quotient_imc(imc, partition, drop_inert_tau=True)
+
+    def test_agreeing_members_pass(self):
+        imc = IMC(num_states=3, markov=[(0, 1.5, 2), (1, 1.5, 2), (2, 1.0, 2)])
+        partition = _two_state_blocks(imc)
+        with sanitizing():
+            quotient = quotient_imc(imc, partition, drop_inert_tau=True)
+        assert quotient.num_states == 2
+
+    def test_agreement_up_to_quantisation(self):
+        # 0.1 + 0.2 vs 0.3: equal on the shared grid, so no diagnostic.
+        imc = IMC(
+            num_states=3,
+            markov=[(0, 0.1, 2), (0, 0.2, 2), (1, 0.3, 2), (2, 1.0, 2)],
+        )
+        partition = _two_state_blocks(imc)
+        with sanitizing():
+            quotient = quotient_imc(imc, partition, drop_inert_tau=True)
+        assert quotient.num_states == 2
+
+    def test_disabled_sanitizer_does_not_check(self):
+        imc = IMC(num_states=3, markov=[(0, 1.0, 2), (1, 2.0, 2), (2, 1.0, 2)])
+        partition = _two_state_blocks(imc)
+        # Without sanitizing the construction silently picks a member
+        # (documented behaviour -- the check costs a full model pass).
+        quotient = quotient_imc(imc, partition, drop_inert_tau=True)
+        assert quotient.num_states == 2
+
+    def test_unstable_members_are_exempt(self):
+        # 1 is unstable (outgoing tau): its rates are behaviourally
+        # irrelevant under maximal progress and must not be compared.
+        from repro.imc.model import TAU
+
+        imc = IMC(
+            num_states=3,
+            interactive=[(1, TAU, 2)],
+            markov=[(0, 1.0, 2), (1, 99.0, 2), (2, 1.0, 2)],
+        )
+        partition = _two_state_blocks(imc)
+        with sanitizing():
+            quotient_imc(imc, partition, drop_inert_tau=True)
