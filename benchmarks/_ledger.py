@@ -37,7 +37,10 @@ def append_run(
     """Append one run to the ledger at ``path`` and return the entry.
 
     ``payload`` is the benchmark's measurement record; the ledger stamps
-    it with the commit id and an ISO-8601 UTC timestamp.  A pre-ledger
+    it with the commit id and an ISO-8601 UTC timestamp.  The stamps are
+    authoritative: ``commit``/``recorded_at`` keys in ``payload`` are
+    ignored, so every appended entry carries real provenance and
+    ``repro bench trend`` can order runs chronologically.  A pre-ledger
     single-run document found at ``path`` becomes the first entry (with
     unknown provenance).  Only the last ``keep`` runs are retained.
     """
@@ -62,7 +65,9 @@ def append_run(
         "commit": git_sha(path.parent),
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
     }
-    entry.update(payload)
+    entry.update(
+        {k: v for k, v in payload.items() if k not in ("commit", "recorded_at")}
+    )
     runs.append(entry)
     runs = runs[-keep:]
     document = {"benchmark": benchmark, "runs": runs}

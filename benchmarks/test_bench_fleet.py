@@ -1,0 +1,112 @@
+"""Fleet aggregation scrape latency.
+
+Starts two telemetry servers with realistic metric stores (a small FTWC
+batch each, so counters, gauges and certificate histograms are all
+present), then times full aggregation cycles -- scraping both sources'
+``/metrics?format=json`` + ``/healthz`` + ``/traces`` and rendering the
+federated exposition.  One cycle must stay far below any sane scrape
+interval, and the federated output must label every source.
+
+Appends the measurements to the ``BENCH_http.json`` ledger under
+``kind: "fleet-aggregation"`` so the series trends separately from the
+plain single-server scrape numbers.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_fleet.py``.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from _ledger import append_run
+from repro.engine.plan import Query
+from repro.engine.solver import QueryEngine
+from repro.obs.fleet import FleetAggregator, FleetStore
+from repro.obs.http import TelemetryServer
+
+CYCLES = 25
+
+#: Per-cycle budget: two loopback sources, three endpoints each, plus
+#: rendering the federated exposition, on a loaded CI box.
+CYCLE_BUDGET_SECONDS = 1.0
+
+
+def _engine():
+    engine = QueryEngine()
+    batch = engine.run(
+        [
+            Query(
+                model={"family": "ftwc", "n": 1},
+                t=t,
+                epsilon=1e-6,
+                goal="no_premium",
+                objective="max",
+            )
+            for t in (10.0, 50.0)
+        ]
+    )
+    assert batch.num_failed == 0
+    return engine
+
+
+@pytest.fixture(scope="module")
+def sources():
+    engines = [_engine(), _engine()]
+    servers = [
+        TelemetryServer(engine.metrics, instance=f"bench-{index}")
+        for index, engine in enumerate(engines)
+    ]
+    for server in servers:
+        server.start()
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def test_fleet_aggregation_latency(sources):
+    fleet = FleetStore()
+    aggregator = FleetAggregator(
+        [(server.instance, server.url) for server in sources],
+        store=fleet,
+        timeout=5.0,
+    )
+    # Warm-up: sockets, handler import paths.
+    assert aggregator.scrape_once(force=True) == len(sources)
+
+    durations = []
+    for _ in range(CYCLES):
+        started = time.perf_counter()
+        assert aggregator.scrape_once(force=True) == len(sources)
+        text = fleet.exposition()
+        durations.append(time.perf_counter() - started)
+    assert 'repro_queries_total_total{instance="bench-0"} 2' in text
+    assert 'repro_queries_total_total{instance="bench-1"} 2' in text
+    assert 'repro_fleet_source_up{instance="bench-0"} 1' in text
+    assert fleet.health()["status"] == "ok"
+
+    durations.sort()
+    p50 = durations[len(durations) // 2]
+    p99 = durations[min(len(durations) - 1, int(len(durations) * 0.99))]
+    assert p99 <= CYCLE_BUDGET_SECONDS, (
+        f"fleet aggregation p99 cycle latency {p99 * 1e3:.2f} ms exceeds "
+        f"budget {CYCLE_BUDGET_SECONDS * 1e3:.0f} ms"
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_http.json"
+    append_run(
+        out,
+        "http-metrics-scrape",
+        {
+            "kind": "fleet-aggregation",
+            "sources": len(sources),
+            "cycles": CYCLES,
+            "federated_bytes": len(text.encode("utf-8")),
+            "min_seconds": durations[0],
+            "p50_seconds": p50,
+            "p99_seconds": p99,
+            "budget_seconds": CYCLE_BUDGET_SECONDS,
+        },
+    )

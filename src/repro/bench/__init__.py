@@ -1,0 +1,34 @@
+"""``repro.bench``: benchmark-ledger parsing and trend analysis.
+
+The repository root carries append-only ``BENCH_*.json`` ledgers (one
+entry per benchmark run, stamped with the git commit and a UTC
+timestamp by ``benchmarks/_ledger.py``).  This package turns those
+series into decisions: :mod:`repro.bench.trend` parses every ledger
+into one schema, builds per-workload time series, and flags metrics
+whose latest run regressed beyond a threshold -- the engine behind
+``repro bench trend``.
+"""
+
+from repro.bench.trend import (
+    DEFAULT_MIN_HISTORY,
+    DEFAULT_THRESHOLD,
+    LedgerError,
+    MetricTrend,
+    TrendReport,
+    analyze_ledgers,
+    flatten_run,
+    load_ledger,
+    metric_direction,
+)
+
+__all__ = [
+    "DEFAULT_MIN_HISTORY",
+    "DEFAULT_THRESHOLD",
+    "LedgerError",
+    "MetricTrend",
+    "TrendReport",
+    "analyze_ledgers",
+    "flatten_run",
+    "load_ledger",
+    "metric_direction",
+]

@@ -1,0 +1,341 @@
+"""Cross-commit trend analysis over the ``BENCH_*.json`` ledgers.
+
+Every benchmark in this repository appends one entry per run to an
+append-only ledger (``benchmarks/_ledger.py``), stamped with the short
+git SHA and a UTC timestamp.  This module reads any number of such
+ledgers into **one schema** -- a flat series of numeric metrics per
+*workload* (the ledger's benchmark name, refined by an optional
+``kind`` field so one file can carry several measurement shapes) --
+and answers the question CI actually cares about: *did the latest run
+regress?*
+
+The mechanics:
+
+* :func:`load_ledger` parses one ledger tolerantly.  The very first
+  entry of the oldest ledgers predates stamping (``commit: "unknown"``,
+  ``recorded_at: null``); such entries sort *before* every stamped run
+  instead of crashing the comparison.
+* :func:`flatten_run` turns one run entry into dotted numeric metrics
+  (``ftwc.compression_ratio``), skipping provenance (``commit``,
+  ``recorded_at``), configuration (``budget``, ``workload``, ``kind``)
+  and non-numeric leaves.
+* :func:`metric_direction` classifies each metric: ``lower`` is better
+  for durations and overhead ratios, ``higher`` for speedups,
+  compression ratios and throughputs; anything unrecognised is tracked
+  but never flagged.
+* :func:`analyze_ledgers` builds the series and compares each metric's
+  latest value against the **median of its prior runs**.  A metric
+  regresses when it is worse than the baseline by more than
+  ``threshold`` (a fraction: ``0.5`` flags a >50% degradation).
+  Benchmark timings on shared CI boxes are noisy, so nothing is
+  flagged until a metric has ``min_history`` prior runs to form a
+  baseline.
+
+``repro bench trend`` renders the result as text or JSON and exits 1
+when any metric regressed -- the cross-commit gate the ROADMAP asks
+for.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "LedgerError",
+    "MetricTrend",
+    "TrendReport",
+    "analyze_ledgers",
+    "flatten_run",
+    "load_ledger",
+    "metric_direction",
+]
+
+#: Default regression threshold: flag when the latest run is more than
+#: 100% worse than the baseline.  Deliberately generous -- the ledgers
+#: record wall-clock timings from shared machines, and a trend gate
+#: that cries wolf gets deleted.
+DEFAULT_THRESHOLD = 1.0
+
+#: Prior runs required before a metric is regression-checked at all.
+DEFAULT_MIN_HISTORY = 2
+
+#: Keys that are provenance or configuration, not measurements.
+_SKIP_KEYS = {"commit", "recorded_at", "budget", "workload", "kind", "benchmark"}
+
+#: Exact metric names (the last dotted component) with a known
+#: direction; consulted before the suffix heuristics.
+_DIRECTION_BY_NAME = {
+    "speedup": "higher",
+    "overhead_ratio": "lower",
+    "streaming_vs_dense_ratio": "lower",
+    "extraction_vs_plain_ratio": "lower",
+}
+
+
+class LedgerError(ValueError):
+    """A ledger file that cannot be parsed into runs."""
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"`` / ``"higher"`` is better, or ``None`` (informational).
+
+    ``name`` is the dotted metric path; classification looks at its
+    last component.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    known = _DIRECTION_BY_NAME.get(leaf)
+    if known is not None:
+        return known
+    if leaf.endswith("_per_second") or leaf.endswith("per_second"):
+        return "higher"
+    if leaf.endswith("compression_ratio"):
+        return "higher"
+    if leaf.endswith("_seconds"):
+        return "lower"
+    return None
+
+
+def flatten_run(run: Mapping[str, Any], prefix: str = "") -> dict[str, float]:
+    """Dotted numeric leaves of one run entry (measurements only)."""
+    metrics: dict[str, float] = {}
+    for key, value in run.items():
+        if not prefix and key in _SKIP_KEYS:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            metrics[name] = float(value)
+        elif isinstance(value, Mapping):
+            metrics.update(flatten_run(value, prefix=f"{name}."))
+    return metrics
+
+
+def _run_sort_key(position: int, run: Mapping[str, Any]) -> tuple[int, str, int]:
+    """Chronological order, legacy unstamped entries first.
+
+    The ledgers are append-only, so file position is already the run
+    order; the key only has to keep the pre-ledger entry (``commit:
+    "unknown"``, ``recorded_at: null``) ahead of stamped runs and
+    otherwise respect timestamps, falling back to position for ties.
+    """
+    recorded_at = run.get("recorded_at")
+    if not isinstance(recorded_at, str) or not recorded_at:
+        return (0, "", position)
+    return (1, recorded_at, position)
+
+
+def load_ledger(path: str | Path) -> tuple[str, list[dict[str, Any]]]:
+    """``(benchmark_name, runs_in_chronological_order)`` from one ledger.
+
+    Accepts both the ledger format (``{"benchmark": ..., "runs":
+    [...]}``) and a pre-ledger single-run document, which becomes a
+    one-entry series with unknown provenance.
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LedgerError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LedgerError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise LedgerError(f"{path}: ledger must be a JSON object")
+    if isinstance(document.get("runs"), list):
+        benchmark = str(document.get("benchmark") or path.stem)
+        runs = [run for run in document["runs"] if isinstance(run, dict)]
+    else:
+        benchmark = str(document.get("benchmark") or path.stem)
+        legacy = {k: v for k, v in document.items() if k != "benchmark"}
+        legacy.setdefault("commit", "unknown")
+        legacy.setdefault("recorded_at", None)
+        runs = [legacy]
+    ordered = sorted(
+        enumerate(runs), key=lambda item: _run_sort_key(item[0], item[1])
+    )
+    return benchmark, [run for _position, run in ordered]
+
+
+def _workload_key(benchmark: str, run: Mapping[str, Any]) -> str:
+    kind = run.get("kind")
+    if isinstance(kind, str) and kind:
+        return f"{benchmark}/{kind}"
+    return benchmark
+
+
+@dataclass
+class MetricTrend:
+    """The cross-commit series of one metric of one workload."""
+
+    ledger: str
+    workload: str
+    metric: str
+    direction: str | None
+    #: ``(commit, recorded_at, value)`` in chronological order.
+    points: list[tuple[str, str | None, float]] = field(default_factory=list)
+    baseline: float | None = None
+    latest: float | None = None
+    #: ``latest / baseline`` (>1 means slower/bigger than baseline).
+    ratio: float | None = None
+    checked: bool = False
+    regressed: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ledger": self.ledger,
+            "workload": self.workload,
+            "metric": self.metric,
+            "direction": self.direction,
+            "points": [
+                {"commit": commit, "recorded_at": recorded_at, "value": value}
+                for commit, recorded_at, value in self.points
+            ],
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "ratio": self.ratio,
+            "checked": self.checked,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class TrendReport:
+    """Everything ``repro bench trend`` knows after one analysis."""
+
+    trends: list[MetricTrend]
+    threshold: float
+    min_history: int
+    ledgers: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricTrend]:
+        return [trend for trend in self.trends if trend.regressed]
+
+    @property
+    def status(self) -> str:
+        return "regressed" if self.regressions else "ok"
+
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "threshold": self.threshold,
+            "min_history": self.min_history,
+            "ledgers": self.ledgers,
+            "regressions": [trend.as_dict() for trend in self.regressions],
+            "series": [trend.as_dict() for trend in self.trends],
+        }
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        by_workload: dict[str, list[MetricTrend]] = {}
+        for trend in self.trends:
+            by_workload.setdefault(trend.workload, []).append(trend)
+        for workload in sorted(by_workload):
+            lines.append(f"{workload}:")
+            for trend in by_workload[workload]:
+                series = " -> ".join(
+                    f"{value:.6g}" for _commit, _at, value in trend.points[-5:]
+                )
+                if trend.checked and trend.ratio is not None:
+                    delta = (trend.ratio - 1.0) * 100.0
+                    verdict = "REGRESSED" if trend.regressed else "ok"
+                    detail = f"{delta:+.1f}% vs median  [{verdict}]"
+                elif trend.direction is None:
+                    detail = "[informational]"
+                else:
+                    prior = len(trend.points) - 1
+                    detail = f"[unchecked: {prior} prior run(s), need {self.min_history}]"
+                arrow = {"lower": "v", "higher": "^", None: "-"}[trend.direction]
+                lines.append(
+                    f"  {trend.metric:<44s} ({arrow}) {series}  {detail}"
+                )
+        lines.append(
+            f"status: {self.status} "
+            f"({len(self.regressions)} regression(s), {len(self.trends)} series, "
+            f"threshold {self.threshold:g}, min history {self.min_history})"
+        )
+        return "\n".join(lines)
+
+
+def _check_regression(
+    trend: MetricTrend, threshold: float, min_history: int
+) -> None:
+    """Fill the baseline/latest/ratio/regressed fields of one trend."""
+    values = [value for _commit, _at, value in trend.points]
+    if not values:
+        return
+    trend.latest = values[-1]
+    priors = values[:-1]
+    if trend.direction is None or len(priors) < min_history:
+        return
+    baseline = statistics.median(priors)
+    trend.baseline = baseline
+    trend.checked = True
+    if baseline == 0.0:
+        # A zero baseline makes every ratio meaningless; compare by sign.
+        trend.ratio = None
+        trend.regressed = (
+            trend.latest > 0.0 if trend.direction == "lower" else trend.latest < 0.0
+        )
+        return
+    ratio = trend.latest / baseline
+    trend.ratio = ratio
+    if trend.direction == "lower":
+        trend.regressed = ratio > 1.0 + threshold
+    else:
+        trend.regressed = ratio < 1.0 / (1.0 + threshold)
+
+
+def analyze_ledgers(
+    paths: Iterable[str | Path],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> TrendReport:
+    """Parse every ledger and trend every metric of every workload.
+
+    ``threshold`` is the tolerated fractional degradation of the latest
+    run against the median of its prior runs; ``min_history`` is the
+    number of prior runs required before a metric is checked at all.
+    """
+    trends: list[MetricTrend] = []
+    ledger_names: list[str] = []
+    for path in paths:
+        path = Path(path)
+        benchmark, runs = load_ledger(path)
+        ledger_names.append(path.name)
+        series: dict[tuple[str, str], MetricTrend] = {}
+        for run in runs:
+            workload = _workload_key(benchmark, run)
+            commit = str(run.get("commit") or "unknown")
+            recorded_at = run.get("recorded_at")
+            recorded_at = recorded_at if isinstance(recorded_at, str) else None
+            for metric, value in flatten_run(run).items():
+                key = (workload, metric)
+                trend = series.get(key)
+                if trend is None:
+                    trend = MetricTrend(
+                        ledger=path.name,
+                        workload=workload,
+                        metric=metric,
+                        direction=metric_direction(metric),
+                    )
+                    series[key] = trend
+                trend.points.append((commit, recorded_at, value))
+        for trend in series.values():
+            _check_regression(trend, threshold, min_history)
+        trends.extend(
+            series[key] for key in sorted(series, key=lambda k: (k[0], k[1]))
+        )
+    return TrendReport(
+        trends=trends,
+        threshold=threshold,
+        min_history=min_history,
+        ledgers=ledger_names,
+    )

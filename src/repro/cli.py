@@ -62,6 +62,22 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_push_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--push-gateway",
+        default=None,
+        metavar="URL",
+        help="POST metric snapshots to this fleet gateway ('repro obs-agg'); "
+        "defaults to $REPRO_PUSH_GATEWAY; worker processes push their own "
+        "snapshots too",
+    )
+    parser.add_argument(
+        "--instance",
+        default=None,
+        help="source identity for pushed snapshots (default: <hostname>-<pid>)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -238,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_save_policy_option(batch)
     _add_cache_arguments(batch)
+    _add_push_arguments(batch)
 
     profile = sub.add_parser(
         "profile",
@@ -309,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind address for --http-port (default: 127.0.0.1)",
     )
     _add_cache_arguments(serve)
+    _add_push_arguments(serve)
 
     obs_server = sub.add_parser(
         "obs-server",
@@ -341,6 +359,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the --queries workload",
     )
     _add_cache_arguments(obs_server)
+    _add_push_arguments(obs_server)
+
+    obs_agg = sub.add_parser(
+        "obs-agg",
+        help="fleet telemetry aggregator: scrape multiple telemetry servers "
+        "and/or accept POST /push snapshots, re-exposing one federated "
+        "/metrics (instance-labeled) and one rolled-up /healthz",
+    )
+    obs_agg.add_argument(
+        "--scrape",
+        action="append",
+        default=[],
+        metavar="[NAME=]URL",
+        help="a telemetry server to poll; repeatable (bare URLs label their "
+        "samples by host:port; NAME=URL picks the instance label)",
+    )
+    obs_agg.add_argument(
+        "--port", type=int, default=9780, help="TCP port (0 picks a free port)"
+    )
+    obs_agg.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    obs_agg.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="scrape interval in seconds (default: 2)",
+    )
+    obs_agg.add_argument(
+        "--timeout",
+        type=float,
+        default=1.0,
+        help="per-target scrape timeout in seconds (default: 1)",
+    )
+    obs_agg.add_argument(
+        "--staleness",
+        type=float,
+        default=10.0,
+        help="seconds of silence before a source counts as stale and the "
+        "rolled-up /healthz degrades (default: 10)",
+    )
+    obs_agg.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds, then exit cleanly "
+        "(default: until interrupted)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark-ledger tooling (the BENCH_*.json series in the "
+        "repository root)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    trend = bench_sub.add_parser(
+        "trend",
+        help="trend every ledger metric across commits and flag regressions "
+        "(exit 0 clean, 1 regressed, 2 usage/load error)",
+    )
+    trend.add_argument(
+        "--ledger",
+        nargs="*",
+        default=None,
+        metavar="BENCH_*.json",
+        help="ledger files to analyze (default: ./BENCH_*.json)",
+    )
+    trend.add_argument(
+        "--json", action="store_true", dest="json_", help="emit the JSON report"
+    )
+    trend.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="tolerated fractional degradation of the latest run vs the "
+        "median of prior runs (default: 1.0, i.e. flag >100%% worse)",
+    )
+    trend.add_argument(
+        "--min-history",
+        type=int,
+        default=None,
+        help="prior runs required before a metric is checked (default: 2)",
+    )
 
     from repro.policy.cli import add_policy_parser
 
@@ -682,6 +783,8 @@ def _make_engine(args: argparse.Namespace):
         workers=getattr(args, "workers", None),
         timeout=getattr(args, "timeout", None),
         precompute=getattr(args, "precompute", False),
+        push_gateway=getattr(args, "push_gateway", None),
+        instance=getattr(args, "instance", None),
     )
 
 
@@ -844,6 +947,86 @@ def _cmd_obs_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_agg(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.fleet import FleetAggregator, FleetStore, parse_target
+    from repro.obs.http import TelemetryServer
+    from repro.obs.metrics import MetricStore
+
+    try:
+        targets = [parse_target(spec) for spec in args.scrape]
+    except ValueError as exc:
+        print(f"bad --scrape target: {exc}", file=sys.stderr)
+        return 2
+    store = FleetStore(staleness_seconds=args.staleness)
+    aggregator = FleetAggregator(
+        targets,
+        store=store,
+        interval=args.interval,
+        timeout=args.timeout,
+    )
+    try:
+        server = TelemetryServer(
+            MetricStore(),
+            host=args.host,
+            port=args.port,
+            fleet=store,
+            instance="gateway",
+        )
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    server.start()
+    aggregator.start()
+    scraped = ", ".join(instance for instance, _url in targets) or "none"
+    print(
+        f"fleet gateway listening on {server.url} "
+        f"(scraping: {scraped}; POST {server.url}/push accepted)",
+        file=sys.stderr,
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(max(0.0, args.duration))
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        aggregator.stop()
+        server.stop()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import DEFAULT_MIN_HISTORY, DEFAULT_THRESHOLD, LedgerError, analyze_ledgers
+
+    if args.ledger:
+        paths = [Path(spec) for spec in args.ledger]
+    else:
+        paths = sorted(Path.cwd().glob("BENCH_*.json"))
+    if not paths:
+        print("no ledgers found (looked for ./BENCH_*.json)", file=sys.stderr)
+        return 2
+    threshold = DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+    min_history = (
+        DEFAULT_MIN_HISTORY if args.min_history is None else args.min_history
+    )
+    try:
+        report = analyze_ledgers(paths, threshold=threshold, min_history=min_history)
+    except LedgerError as exc:
+        print(f"bench trend: {exc}", file=sys.stderr)
+        return 2
+    if args.json_:
+        print(json.dumps(report.as_dict(), indent=1))
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
 def _cmd_policy(args: argparse.Namespace) -> int:
     from repro.policy.cli import cmd_policy
 
@@ -879,6 +1062,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "profile": _cmd_profile,
         "serve": _cmd_serve,
         "obs-server": _cmd_obs_server,
+        "obs-agg": _cmd_obs_agg,
+        "bench": _cmd_bench,
         "policy": _cmd_policy,
     }
     return handlers[args.command](args)

@@ -331,12 +331,32 @@ def _solve_group(
     return results
 
 
+def _push_metrics(
+    gateway: str,
+    metrics: "EngineMetrics",
+    instance: str | None = None,
+    spans: Sequence[Mapping[str, Any]] | None = None,
+) -> bool:
+    """Push one snapshot to a fleet gateway; failures never propagate.
+
+    The outcome is recorded in the *local* store (``fleet_pushes`` /
+    ``fleet_push_failures``) so a scrape of the pushing process shows
+    whether its gateway deliveries are getting through.
+    """
+    from repro.obs.fleet import push_snapshot
+
+    ok = push_snapshot(gateway, metrics, instance=instance, spans=spans)
+    metrics.count("fleet_pushes" if ok else "fleet_push_failures")
+    return ok
+
+
 def _worker_solve_group(
     group: QueryGroup,
     cache_dir: str | None,
     timeout: float | None,
     trace_id: str | None = None,
     precompute: bool = False,
+    push_gateway: str | None = None,
 ) -> tuple[list[QueryResult], dict, dict | None]:
     """Process-pool entry point: solve one group in a fresh registry.
 
@@ -345,22 +365,33 @@ def _worker_solve_group(
     under tracing it passes its ``trace_id``; the worker then records
     its own spans under that id and ships them back as the third tuple
     element (spans, the worker tracer's activation epoch, and the
-    worker pid) for :meth:`Tracer.adopt` in the parent.
+    worker pid) for :meth:`Tracer.adopt` in the parent.  With a
+    ``push_gateway`` the worker additionally pushes its own snapshot
+    under its ``<hostname>-<pid>`` identity before returning, so a
+    fleet gateway sees fan-out workers live instead of only the
+    parent's post-merge aggregate.
     """
     # A fork-started worker inherits the parent's active tracer in the
     # module global; spans recorded there would vanish with the worker.
     reset_subprocess_tracer()
     registry = ModelRegistry(cache_dir=cache_dir)
+    payload = None
     if trace_id is None:
         results = _solve_group(registry, group, timeout, precompute=precompute)
-        return results, registry.metrics.as_dict(), None
-    with tracing(trace_id=trace_id) as tracer:
-        results = _solve_group(registry, group, timeout, precompute=precompute)
-        payload = {
-            "spans": tracer.as_dicts(),
-            "origin_epoch": tracer.origin_epoch,
-            "pid": os.getpid(),
-        }
+    else:
+        with tracing(trace_id=trace_id) as tracer:
+            results = _solve_group(registry, group, timeout, precompute=precompute)
+            payload = {
+                "spans": tracer.as_dicts(),
+                "origin_epoch": tracer.origin_epoch,
+                "pid": os.getpid(),
+            }
+    if push_gateway:
+        _push_metrics(
+            push_gateway,
+            registry.metrics,
+            spans=payload["spans"] if payload is not None else None,
+        )
     return results, registry.metrics.as_dict(), payload
 
 
@@ -371,6 +402,8 @@ def run_batch(
     timeout: float | None = None,
     record_schedulers: bool = False,
     precompute: bool = False,
+    push_gateway: str | None = None,
+    instance: str | None = None,
 ) -> BatchResult:
     """Answer a batch of queries; results come back in input order.
 
@@ -396,7 +429,20 @@ def run_batch(
         Run qualitative graph precomputation (Prob0 clamping) inside
         the CTMDP solver.  Off by default: clamped sweeps agree with
         the plain sweep only up to the solver epsilon, not bitwise.
+    push_gateway:
+        URL of a fleet push gateway (``repro obs-agg``); falls back to
+        the ``REPRO_PUSH_GATEWAY`` environment variable.  When set, the
+        batch's final metrics snapshot -- and, under fan-out, each
+        worker's own snapshot -- is POSTed to the gateway's ``/push``
+        so concurrent runs are observable live on one ``/metrics``.
+        Delivery failures are counted locally, never raised.
+    instance:
+        Source identity for the push (default ``<hostname>-<pid>``).
     """
+    if push_gateway is None:
+        from repro.obs.fleet import push_gateway_from_env
+
+        push_gateway = push_gateway_from_env()
     batch = list(queries)
     registry = registry if registry is not None else ModelRegistry()
     metrics = registry.metrics
@@ -420,7 +466,13 @@ def run_batch(
         ) as pool:
             futures = {
                 pool.submit(
-                    _worker_solve_group, group, cache_dir, timeout, trace_id, precompute
+                    _worker_solve_group,
+                    group,
+                    cache_dir,
+                    timeout,
+                    trace_id,
+                    precompute,
+                    push_gateway,
                 ): group
                 for group in groups
             }
@@ -449,6 +501,14 @@ def run_batch(
     failed = sum(not result.ok for result in results)
     if failed:
         metrics.count("queries_failed", failed)
+    if push_gateway:
+        parent_tracer = current_tracer()
+        _push_metrics(
+            push_gateway,
+            metrics,
+            instance=instance,
+            spans=parent_tracer.as_dicts() if parent_tracer is not None else None,
+        )
     return BatchResult(results=results, metrics=metrics)
 
 
@@ -460,6 +520,8 @@ def run_batch_dicts(
     timeout: float | None = None,
     record_schedulers: bool = False,
     precompute: bool = False,
+    push_gateway: str | None = None,
+    instance: str | None = None,
 ) -> BatchResult:
     """Like :func:`run_batch`, but over raw query dictionaries.
 
@@ -483,6 +545,8 @@ def run_batch_dicts(
         timeout=timeout,
         record_schedulers=record_schedulers,
         precompute=precompute,
+        push_gateway=push_gateway,
+        instance=instance,
     )
     slots: list[QueryResult | None] = [None] * len(records)
     for (index, _query), result in zip(parsed, inner.results):
@@ -518,6 +582,8 @@ class QueryEngine:
         workers: int | None = None,
         timeout: float | None = None,
         precompute: bool = False,
+        push_gateway: str | None = None,
+        instance: str | None = None,
     ) -> None:
         if registry is None:
             registry = ModelRegistry(cache_dir=cache_dir)
@@ -525,6 +591,8 @@ class QueryEngine:
         self.workers = workers
         self.timeout = timeout
         self.precompute = precompute
+        self.push_gateway = push_gateway
+        self.instance = instance
 
     @property
     def metrics(self) -> EngineMetrics:
@@ -546,6 +614,8 @@ class QueryEngine:
             timeout=self.timeout,
             record_schedulers=record_schedulers,
             precompute=self.precompute,
+            push_gateway=self.push_gateway,
+            instance=self.instance,
         )
 
     def run_dicts(
@@ -563,4 +633,6 @@ class QueryEngine:
             timeout=self.timeout,
             record_schedulers=record_schedulers,
             precompute=self.precompute,
+            push_gateway=self.push_gateway,
+            instance=self.instance,
         )

@@ -1,0 +1,664 @@
+"""Fleet telemetry: push-gateway state, federation scraping, roll-ups.
+
+The single-process telemetry story (:mod:`repro.obs.http`) exposes one
+:class:`~repro.obs.metrics.MetricStore` per server.  This module is the
+*many processes* story:
+
+* :class:`FleetStore` -- a thread-safe, per-``instance`` labeled
+  multi-store.  Sources land in it two ways: **pushed** (a worker or
+  batch run POSTs its snapshot to a gateway's ``/push``) or **scraped**
+  (the aggregator polled the source's endpoints).  Each source carries
+  a last-seen timestamp; sources that stop reporting are marked stale
+  after a configurable window.  The store renders one federated
+  Prometheus exposition (every sample labeled ``instance="..."`` plus
+  the ``repro_fleet_source_up`` / ``repro_fleet_source_staleness_seconds``
+  meta-series) and one rolled-up health verdict (degraded as soon as
+  any source is degraded, down, or stale).
+* :class:`FleetAggregator` -- a polling scraper over multiple
+  telemetry servers: per-target timeout, bounded exponential backoff
+  after failures, staleness marking.  Driven by ``repro obs-agg``.
+* :class:`PushClient` / :func:`push_snapshot` -- the sending side,
+  used by ``repro batch`` / ``repro serve`` and the engine's
+  process-pool workers when ``--push-gateway`` (or the
+  ``REPRO_PUSH_GATEWAY`` environment variable) is set.
+
+Everything is standard library only; failures on the push path are
+swallowed (and counted) so telemetry can never take a solve down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.certificate import health_summary
+from repro.obs.export import escape_label_value, prometheus_federation
+from repro.obs.metrics import MetricStore
+
+__all__ = [
+    "FleetAggregator",
+    "FleetStore",
+    "PushClient",
+    "SourceState",
+    "default_instance",
+    "parse_target",
+    "push_gateway_from_env",
+    "push_snapshot",
+]
+
+#: Environment variable naming the default push-gateway URL.
+PUSH_GATEWAY_ENV = "REPRO_PUSH_GATEWAY"
+
+#: Largest accepted ``POST /push`` body (a defensive cap; real
+#: snapshots are a few KiB).
+MAX_PUSH_BYTES = 8 * 1024 * 1024
+
+
+def default_instance() -> str:
+    """The default source identity: ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def push_gateway_from_env() -> str | None:
+    """The ``REPRO_PUSH_GATEWAY`` URL, or ``None`` when unset/empty."""
+    url = os.environ.get(PUSH_GATEWAY_ENV, "").strip()
+    return url or None
+
+
+@dataclass
+class SourceState:
+    """Everything the fleet knows about one instance."""
+
+    instance: str
+    snapshot: dict[str, Any] = field(default_factory=dict)
+    health: dict[str, Any] = field(default_factory=dict)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    #: Wall-clock time of the last successful push/scrape.
+    last_seen: float = 0.0
+    #: True while the last contact attempt succeeded.
+    up: bool = False
+    mode: str = "push"
+    pushes: int = 0
+    scrapes: int = 0
+    scrape_failures: int = 0
+    consecutive_failures: int = 0
+    last_error: str | None = None
+    last_scrape_seconds: float | None = None
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the source was last heard from."""
+        if self.last_seen <= 0.0:
+            return float("inf")
+        return max(0.0, now - self.last_seen)
+
+    def status(self, now: float, staleness_seconds: float) -> str:
+        """``ok`` / ``degraded`` / ``down`` / ``stale`` for the roll-up."""
+        if not self.up:
+            return "down"
+        if self.staleness(now) > staleness_seconds:
+            return "stale"
+        if self.health.get("status") not in (None, "ok"):
+            return "degraded"
+        return "ok"
+
+
+class FleetStore:
+    """Thread-safe per-instance multi-store behind the fleet endpoints.
+
+    ``staleness_seconds`` is the freshness window: a source whose last
+    successful contact is older is marked stale (``repro_fleet_source_up``
+    drops to 0 and the rolled-up health degrades).  ``trace_tail``
+    bounds the spans retained per source.
+    """
+
+    def __init__(self, staleness_seconds: float = 10.0, trace_tail: int = 256) -> None:
+        self.staleness_seconds = float(staleness_seconds)
+        self.trace_tail = int(trace_tail)
+        self._sources: dict[str, SourceState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _state(self, instance: str) -> SourceState:
+        state = self._sources.get(instance)
+        if state is None:
+            state = SourceState(instance=instance)
+            self._sources[instance] = state
+        return state
+
+    def record_push(
+        self,
+        instance: str,
+        snapshot: Mapping[str, Any],
+        spans: Iterable[Mapping[str, Any]] | None = None,
+        now: float | None = None,
+    ) -> SourceState:
+        """Fold one pushed snapshot in; the instance's latest push wins.
+
+        A re-push under a known instance (a restarted worker) simply
+        replaces the stored snapshot and refreshes ``last_seen`` -- the
+        push-gateway semantics of "the fleet's current view of this
+        source".
+        """
+        now = time.time() if now is None else now
+        snapshot = dict(snapshot)
+        health = _health_of_snapshot(snapshot)
+        with self._lock:
+            state = self._state(str(instance))
+            state.snapshot = snapshot
+            state.health = health
+            if spans is not None:
+                state.spans = [dict(record) for record in spans][-self.trace_tail:]
+            state.last_seen = now
+            state.up = True
+            state.mode = "push"
+            state.pushes += 1
+            state.consecutive_failures = 0
+            state.last_error = None
+            return state
+
+    def record_scrape(
+        self,
+        instance: str,
+        snapshot: Mapping[str, Any],
+        health: Mapping[str, Any] | None = None,
+        spans: Iterable[Mapping[str, Any]] | None = None,
+        scrape_seconds: float | None = None,
+        now: float | None = None,
+    ) -> SourceState:
+        """Fold one successful scrape of a federation target in."""
+        now = time.time() if now is None else now
+        snapshot = dict(snapshot)
+        with self._lock:
+            state = self._state(str(instance))
+            state.snapshot = snapshot
+            state.health = (
+                dict(health) if health is not None else _health_of_snapshot(snapshot)
+            )
+            if spans is not None:
+                state.spans = [dict(record) for record in spans][-self.trace_tail:]
+            state.last_seen = now
+            state.up = True
+            state.mode = "scrape"
+            state.scrapes += 1
+            state.consecutive_failures = 0
+            state.last_error = None
+            state.last_scrape_seconds = scrape_seconds
+            return state
+
+    def record_failure(
+        self, instance: str, error: str, now: float | None = None
+    ) -> SourceState:
+        """Mark one failed contact attempt; the source goes down."""
+        with self._lock:
+            state = self._state(str(instance))
+            state.up = False
+            state.mode = "scrape"
+            state.scrape_failures += 1
+            state.consecutive_failures += 1
+            state.last_error = str(error)
+            return state
+
+    def forget(self, instance: str) -> bool:
+        """Drop a source entirely; True if it existed."""
+        with self._lock:
+            return self._sources.pop(str(instance), None) is not None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def instances(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sources)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sources)
+
+    def _sorted_states(self) -> list[SourceState]:
+        return [self._sources[name] for name in sorted(self._sources)]
+
+    def exposition(
+        self,
+        prefix: str = "repro_",
+        now: float | None = None,
+        local: tuple[str, Mapping[str, Any]] | None = None,
+    ) -> str:
+        """The federated Prometheus text exposition.
+
+        Every source's samples carry ``instance="..."``; the fleet
+        meta-series (`..._source_up`, `..._source_staleness_seconds`,
+        push/scrape counts, last scrape latency) describe the fleet
+        itself.  Sources currently down contribute their meta-series
+        but keep their last snapshot visible -- a scraper can still see
+        the final state of a dead worker while the ``up`` flag says not
+        to trust its freshness.  ``local`` splices the serving
+        process's own ``(instance, snapshot)`` ahead of the sources, so
+        a gateway's own metrics share one exposition (and one set of
+        family headers) with the fleet's.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            states = self._sorted_states()
+            snapshots = [(state.instance, dict(state.snapshot)) for state in states]
+            if local is not None:
+                snapshots.insert(0, (local[0], dict(local[1])))
+            meta = [
+                (
+                    state.instance,
+                    state.up and state.staleness(now) <= self.staleness_seconds,
+                    state.staleness(now),
+                    state.pushes,
+                    state.scrapes,
+                    state.scrape_failures,
+                    state.last_scrape_seconds,
+                )
+                for state in states
+            ]
+
+        def _labeled(metric: str, instance: str, value: str) -> str:
+            return f'{metric}{{instance="{escape_label_value(instance)}"}} {value}'
+
+        up_metric = f"{prefix}fleet_source_up"
+        stale_metric = f"{prefix}fleet_source_staleness_seconds"
+        pushes_metric = f"{prefix}fleet_source_pushes_total"
+        scrapes_metric = f"{prefix}fleet_source_scrapes_total"
+        failures_metric = f"{prefix}fleet_source_scrape_failures_total"
+        latency_metric = f"{prefix}fleet_last_scrape_seconds"
+        extra: list[tuple[str, str, str, list[str]]] = [
+            (
+                f"{prefix}fleet_sources",
+                "gauge",
+                "Sources known to the fleet store.",
+                [f"{prefix}fleet_sources {len(meta)}"],
+            ),
+            (
+                up_metric,
+                "gauge",
+                "1 while the source's last contact succeeded and is fresh.",
+                [
+                    _labeled(up_metric, instance, "1" if fresh else "0")
+                    for instance, fresh, *_rest in meta
+                ],
+            ),
+            (
+                stale_metric,
+                "gauge",
+                "Seconds since the source was last heard from.",
+                [
+                    _labeled(
+                        stale_metric,
+                        instance,
+                        "+Inf" if staleness == float("inf") else repr(staleness),
+                    )
+                    for instance, _fresh, staleness, *_rest in meta
+                ],
+            ),
+            (
+                pushes_metric,
+                "counter",
+                "Snapshots this source pushed to the gateway.",
+                [
+                    _labeled(pushes_metric, instance, str(pushes))
+                    for instance, _fresh, _stale, pushes, *_rest in meta
+                ],
+            ),
+            (
+                scrapes_metric,
+                "counter",
+                "Successful scrapes of this source.",
+                [
+                    _labeled(scrapes_metric, instance, str(scrapes))
+                    for instance, _f, _s, _p, scrapes, *_rest in meta
+                ],
+            ),
+            (
+                failures_metric,
+                "counter",
+                "Failed scrape attempts against this source.",
+                [
+                    _labeled(failures_metric, instance, str(failures))
+                    for instance, _f, _s, _p, _sc, failures, _lat in meta
+                ],
+            ),
+            (
+                latency_metric,
+                "gauge",
+                "Duration of the last successful scrape.",
+                [
+                    _labeled(latency_metric, instance, repr(float(latency)))
+                    for instance, _f, _s, _p, _sc, _fail, latency in meta
+                    if latency is not None
+                ],
+            ),
+        ]
+        return prometheus_federation(snapshots, prefix=prefix, extra_families=extra)
+
+    def health(self, now: float | None = None) -> dict[str, Any]:
+        """The rolled-up health verdict over every source.
+
+        ``status`` is ``"ok"`` only while *every* source is up, fresh
+        and healthy; one degraded, down or stale source degrades the
+        fleet (the gateway's ``/healthz`` answers 503).  An empty fleet
+        is healthy -- an idle gateway should not page anyone.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            states = self._sorted_states()
+            sources: dict[str, Any] = {}
+            counts = {"ok": 0, "degraded": 0, "down": 0, "stale": 0}
+            for state in states:
+                status = state.status(now, self.staleness_seconds)
+                counts[status] += 1
+                staleness = state.staleness(now)
+                sources[state.instance] = {
+                    "status": status,
+                    "mode": state.mode,
+                    "up": state.up,
+                    "staleness_seconds": (
+                        None if staleness == float("inf") else staleness
+                    ),
+                    "last_error": state.last_error,
+                    "health": dict(state.health),
+                }
+        healthy = counts["degraded"] == counts["down"] == counts["stale"] == 0
+        status = "ok" if healthy else "degraded"
+        return {
+            "status": status,
+            "fleet": {
+                "sources": len(sources),
+                "staleness_window_seconds": self.staleness_seconds,
+                **counts,
+            },
+            "sources": sources,
+        }
+
+    def traces(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Recent spans across the fleet, each tagged with its instance."""
+        with self._lock:
+            merged: list[dict[str, Any]] = []
+            for state in self._sorted_states():
+                for record in state.spans:
+                    tagged = dict(record)
+                    tagged["instance"] = state.instance
+                    merged.append(tagged)
+        if limit is not None and limit >= 0:
+            merged = merged[max(0, len(merged) - limit):]
+        return merged
+
+    def as_dict(self, now: float | None = None) -> dict[str, Any]:
+        """JSON summary of the fleet (used by tests and debugging)."""
+        return self.health(now=now)
+
+
+def _health_of_snapshot(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Certificate health derived from a pushed metrics snapshot."""
+    store = MetricStore()
+    try:
+        store.merge(snapshot)
+    except (TypeError, ValueError, KeyError):
+        return {"status": "degraded", "error": "unmergeable metrics snapshot"}
+    return health_summary(store)
+
+
+# ----------------------------------------------------------------------
+# Push side
+# ----------------------------------------------------------------------
+class PushClient:
+    """Sends metric snapshots (plus a trace tail) to a gateway.
+
+    ``gateway`` is the server's base URL (``http://host:port``; a
+    trailing ``/push`` is accepted and normalised away).  ``push``
+    never raises on delivery problems -- it returns ``False`` and
+    remembers the error, because telemetry must not take a solve down.
+    """
+
+    def __init__(
+        self,
+        gateway: str,
+        instance: str | None = None,
+        timeout: float = 2.0,
+    ) -> None:
+        base = gateway.strip().rstrip("/")
+        if base.endswith("/push"):
+            base = base[: -len("/push")]
+        if not base.startswith(("http://", "https://")):
+            base = "http://" + base
+        self.url = base + "/push"
+        self.instance = instance if instance else default_instance()
+        self.timeout = float(timeout)
+        self.pushes = 0
+        self.failures = 0
+        self.last_error: str | None = None
+
+    def push(
+        self,
+        metrics: MetricStore | Mapping[str, Any],
+        spans: Sequence[Mapping[str, Any]] | None = None,
+    ) -> bool:
+        """POST one snapshot; True on a 2xx acknowledgement."""
+        snapshot = metrics.as_dict() if isinstance(metrics, MetricStore) else dict(metrics)
+        payload: dict[str, Any] = {"instance": self.instance, "metrics": snapshot}
+        if spans:
+            payload["spans"] = [dict(record) for record in spans]
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                ok = 200 <= response.status < 300
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            self.failures += 1
+            self.last_error = str(exc)
+            return False
+        if ok:
+            self.pushes += 1
+            self.last_error = None
+        else:  # pragma: no cover - urllib raises on non-2xx
+            self.failures += 1
+        return ok
+
+
+def push_snapshot(
+    gateway: str,
+    metrics: MetricStore | Mapping[str, Any],
+    instance: str | None = None,
+    spans: Sequence[Mapping[str, Any]] | None = None,
+    timeout: float = 2.0,
+) -> bool:
+    """One-shot :class:`PushClient` convenience wrapper."""
+    return PushClient(gateway, instance=instance, timeout=timeout).push(
+        metrics, spans=spans
+    )
+
+
+# ----------------------------------------------------------------------
+# Scrape side
+# ----------------------------------------------------------------------
+def parse_target(spec: str) -> tuple[str, str]:
+    """``(instance, base_url)`` from a ``--scrape`` operand.
+
+    Accepts a bare URL (the instance defaults to ``host:port``) or an
+    explicit ``name=URL`` binding.
+    """
+    spec = spec.strip()
+    name = None
+    if "=" in spec and not spec.split("=", 1)[0].startswith(("http://", "https://")):
+        name, spec = spec.split("=", 1)
+        name = name.strip()
+        spec = spec.strip()
+    if not spec:
+        raise ValueError("scrape target needs a URL")
+    if not spec.startswith(("http://", "https://")):
+        spec = "http://" + spec
+    base = spec.rstrip("/")
+    if not name:
+        from urllib.parse import urlsplit
+
+        name = urlsplit(base).netloc
+    if not name:
+        raise ValueError(f"cannot derive an instance name from {spec!r}")
+    return name, base
+
+
+@dataclass
+class _Target:
+    instance: str
+    base_url: str
+    next_due: float = 0.0
+
+
+class FleetAggregator:
+    """Polls telemetry servers and folds them into a :class:`FleetStore`.
+
+    Each cycle scrapes every due target: the JSON metrics snapshot
+    (``GET /metrics?format=json``), the health verdict (``/healthz``)
+    and a trace tail (``/traces?limit=N``), each under ``timeout``
+    seconds.  A failing target is marked down immediately and retried
+    with exponential backoff (doubling from ``interval`` up to
+    ``backoff_max`` seconds) so a dead source cannot stall the loop;
+    one success resets the schedule.  ``start`` runs the loop on a
+    daemon thread; :meth:`scrape_once` is the synchronous core, used
+    directly by tests.
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[str | tuple[str, str]],
+        store: FleetStore | None = None,
+        interval: float = 2.0,
+        timeout: float = 1.0,
+        backoff_max: float = 30.0,
+        trace_tail: int = 64,
+    ) -> None:
+        self.store = store if store is not None else FleetStore()
+        self.interval = float(interval)
+        self.timeout = float(timeout)
+        self.backoff_max = float(backoff_max)
+        self.trace_tail = int(trace_tail)
+        self.targets: list[_Target] = []
+        for target in targets:
+            if isinstance(target, str):
+                instance, base = parse_target(target)
+            else:
+                instance, base = target
+            self.targets.append(_Target(instance=instance, base_url=base.rstrip("/")))
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- one target ----------------------------------------------------
+    def _fetch_json(self, url: str) -> Any:
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # A 503 /healthz is a *successful* scrape of a degraded
+            # source; its JSON body is the verdict.
+            if exc.code == 503:
+                try:
+                    return json.loads(exc.read().decode("utf-8"))
+                finally:
+                    exc.close()
+            raise
+
+    def _fetch_traces(self, base_url: str) -> list[dict[str, Any]]:
+        url = f"{base_url}/traces?limit={self.trace_tail}"
+        with urllib.request.urlopen(url, timeout=self.timeout) as response:
+            text = response.read().decode("utf-8")
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    def scrape_target(self, target: _Target, now: float | None = None) -> bool:
+        """Scrape one target into the store; True on success."""
+        started = time.perf_counter()
+        try:
+            document = self._fetch_json(f"{target.base_url}/metrics?format=json")
+            if not isinstance(document, dict) or not isinstance(
+                document.get("metrics"), dict
+            ):
+                raise ValueError("malformed /metrics?format=json document")
+            health = self._fetch_json(f"{target.base_url}/healthz")
+            if not isinstance(health, dict):
+                raise ValueError("malformed /healthz document")
+            try:
+                spans = self._fetch_traces(target.base_url)
+            except (urllib.error.URLError, OSError, ValueError):
+                spans = None  # traces are best-effort; metrics carry health
+        except (urllib.error.URLError, OSError, ValueError, json.JSONDecodeError) as exc:
+            self.store.record_failure(target.instance, str(exc), now=now)
+            return False
+        self.store.record_scrape(
+            target.instance,
+            document["metrics"],
+            health=health,
+            spans=spans,
+            scrape_seconds=time.perf_counter() - started,
+            now=now,
+        )
+        return True
+
+    # -- the loop ------------------------------------------------------
+    def scrape_once(self, force: bool = False, now: float | None = None) -> int:
+        """Scrape every due target (all of them with ``force``).
+
+        Returns the number of successful scrapes.  Failures reschedule
+        the target with exponential backoff; successes return it to the
+        regular interval.
+        """
+        clock = time.monotonic()
+        successes = 0
+        for target in self.targets:
+            if not force and clock < target.next_due:
+                continue
+            if self.scrape_target(target, now=now):
+                successes += 1
+                target.next_due = clock + self.interval
+            else:
+                with self.store._lock:
+                    failures = self.store._sources[
+                        target.instance
+                    ].consecutive_failures
+                delay = min(self.interval * (2.0 ** max(0, failures - 1)), self.backoff_max)
+                target.next_due = clock + delay
+        return successes
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.scrape_once()
+            due = min(
+                (target.next_due for target in self.targets),
+                default=time.monotonic() + self.interval,
+            )
+            delay = max(0.05, min(due - time.monotonic(), self.interval))
+            self._stop.wait(delay)
+
+    def start(self) -> "FleetAggregator":
+        """Scrape on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("aggregator already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-fleet-aggregator", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FleetAggregator":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

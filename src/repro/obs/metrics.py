@@ -253,11 +253,18 @@ class MetricStore:
         """The snapshot serialised as a JSON string."""
         return json.dumps(self.as_dict(), indent=indent)
 
-    def prometheus(self, prefix: str = "repro_") -> str:
-        """The store rendered in the Prometheus/OpenMetrics text format."""
+    def prometheus(
+        self, prefix: str = "repro_", labels: Mapping[str, str] | None = None
+    ) -> str:
+        """The store rendered in the Prometheus/OpenMetrics text format.
+
+        ``labels`` attaches constant labels (e.g. an ``instance``
+        identity) to every sample -- see
+        :func:`repro.obs.export.prometheus_exposition`.
+        """
         from repro.obs.export import prometheus_exposition
 
-        return prometheus_exposition(self, prefix=prefix)
+        return prometheus_exposition(self, prefix=prefix, labels=labels)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(counters={self.counters}, timers={self.timers})"

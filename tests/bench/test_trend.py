@@ -1,0 +1,246 @@
+"""Ledger trend analysis: parsing, direction heuristics, regression gates."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    LedgerError,
+    analyze_ledgers,
+    flatten_run,
+    load_ledger,
+    metric_direction,
+)
+
+
+def _ledger(path, benchmark, runs):
+    path.write_text(
+        json.dumps({"benchmark": benchmark, "runs": runs}), encoding="utf-8"
+    )
+    return path
+
+
+def _run(commit, recorded_at, **metrics):
+    return {"commit": commit, "recorded_at": recorded_at, **metrics}
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        ("name", "direction"),
+        [
+            ("scrape.p50_seconds", "lower"),
+            ("build_seconds", "lower"),
+            ("speedup", "higher"),
+            ("replay.events_per_second", "higher"),
+            ("ftwc.compression_ratio", "higher"),
+            ("overhead_ratio", "lower"),
+            ("streaming_vs_dense_ratio", "lower"),
+            ("states", None),
+            ("value", None),
+        ],
+    )
+    def test_known_directions(self, name, direction):
+        assert metric_direction(name) == direction
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves_dotted(self):
+        run = _run(
+            "abc1234",
+            "2026-01-01T00:00:00+00:00",
+            scrape={"p50_seconds": 0.001, "label": "hot"},
+            speedup=2.0,
+            ok=True,
+        )
+        flat = flatten_run(run)
+        assert flat == {"scrape.p50_seconds": 0.001, "speedup": 2.0}
+
+    def test_provenance_and_config_skipped(self):
+        flat = flatten_run(
+            {"commit": "x", "recorded_at": "t", "budget": 5, "kind": "a", "n": 7}
+        )
+        assert flat == {"n": 7}
+
+
+class TestLoadLedger:
+    def test_legacy_unstamped_entry_orders_first(self, tmp_path):
+        path = _ledger(
+            tmp_path / "BENCH_x.json",
+            "x",
+            [
+                _run("bbb", "2026-01-02T00:00:00+00:00", solve_seconds=2.0),
+                {"commit": "unknown", "recorded_at": None, "solve_seconds": 1.0},
+                _run("aaa", "2026-01-01T00:00:00+00:00", solve_seconds=1.5),
+            ],
+        )
+        _name, runs = load_ledger(path)
+        assert [run["commit"] for run in runs] == ["unknown", "aaa", "bbb"]
+
+    def test_pre_ledger_document_becomes_single_run(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps({"benchmark": "old", "solve_seconds": 3.0}))
+        name, runs = load_ledger(path)
+        assert name == "old"
+        assert runs == [
+            {"solve_seconds": 3.0, "commit": "unknown", "recorded_at": None}
+        ]
+
+    @pytest.mark.parametrize("content", ["not json", "[1, 2]", '"str"'])
+    def test_unparseable_ledger_raises(self, tmp_path, content):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(content)
+        with pytest.raises(LedgerError):
+            load_ledger(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LedgerError):
+            load_ledger(tmp_path / "BENCH_none.json")
+
+
+class TestRegressionGate:
+    def _series(self, tmp_path, values, metric="solve_seconds"):
+        runs = [
+            _run(f"c{i}", f"2026-01-0{i + 1}T00:00:00+00:00", **{metric: value})
+            for i, value in enumerate(values)
+        ]
+        return _ledger(tmp_path / "BENCH_s.json", "s", runs)
+
+    def test_synthetic_regression_flags_and_exits_1(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 1.1, 0.9, 5.0])
+        report = analyze_ledgers([path], threshold=1.0)
+        assert report.status == "regressed"
+        assert report.exit_code() == 1
+        [trend] = report.regressions
+        assert trend.metric == "solve_seconds"
+        assert trend.baseline == 1.0
+        assert trend.latest == 5.0
+        assert trend.ratio == pytest.approx(5.0)
+
+    def test_stable_series_is_ok(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 1.1, 0.9, 1.05])
+        report = analyze_ledgers([path], threshold=1.0)
+        assert report.status == "ok"
+        assert report.exit_code() == 0
+
+    def test_higher_is_better_direction(self, tmp_path):
+        path = self._series(tmp_path, [100.0, 110.0, 90.0, 10.0], metric="events_per_second")
+        report = analyze_ledgers([path], threshold=1.0)
+        assert report.exit_code() == 1
+        [trend] = report.regressions
+        assert trend.direction == "higher"
+
+    def test_improvement_never_flags(self, tmp_path):
+        path = self._series(tmp_path, [5.0, 5.0, 0.01])
+        assert analyze_ledgers([path], threshold=1.0).exit_code() == 0
+
+    def test_min_history_gates_noisy_young_series(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 50.0])
+        report = analyze_ledgers([path], threshold=1.0, min_history=2)
+        assert report.exit_code() == 0
+        [trend] = report.trends
+        assert trend.checked is False
+        # One prior run is enough when explicitly allowed.
+        assert analyze_ledgers([path], threshold=1.0, min_history=1).exit_code() == 1
+
+    def test_informational_metrics_never_flag(self, tmp_path):
+        path = self._series(tmp_path, [100.0, 100.0, 100.0, 9000.0], metric="states")
+        report = analyze_ledgers([path], threshold=0.01)
+        assert report.exit_code() == 0
+        [trend] = report.trends
+        assert trend.direction is None
+        assert trend.checked is False
+
+    def test_threshold_is_respected(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 1.0, 1.0, 1.5])
+        assert analyze_ledgers([path], threshold=1.0).exit_code() == 0
+        assert analyze_ledgers([path], threshold=0.2).exit_code() == 1
+
+    def test_zero_baseline_compares_by_sign(self, tmp_path):
+        path = self._series(tmp_path, [0.0, 0.0, 0.0, 0.5])
+        report = analyze_ledgers([path], threshold=1.0)
+        assert report.exit_code() == 1
+        [trend] = report.regressions
+        assert trend.ratio is None
+
+    def test_kind_field_splits_workloads(self, tmp_path):
+        runs = [
+            _run("c1", "2026-01-01T00:00:00+00:00", kind="plain", p50_seconds=1.0),
+            _run("c2", "2026-01-02T00:00:00+00:00", kind="fleet", p50_seconds=100.0),
+            _run("c3", "2026-01-03T00:00:00+00:00", kind="plain", p50_seconds=1.1),
+            _run("c4", "2026-01-04T00:00:00+00:00", kind="fleet", p50_seconds=101.0),
+        ]
+        path = _ledger(tmp_path / "BENCH_http.json", "http", runs)
+        report = analyze_ledgers([path])
+        workloads = {trend.workload for trend in report.trends}
+        assert workloads == {"http/plain", "http/fleet"}
+        # The 100x gap between kinds never compares against each other.
+        assert report.exit_code() == 0
+
+    def test_report_as_dict_shape(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 1.0, 9.0])
+        document = analyze_ledgers([path]).as_dict()
+        assert document["status"] == "regressed"
+        assert document["ledgers"] == ["BENCH_s.json"]
+        [regression] = document["regressions"]
+        assert regression["metric"] == "solve_seconds"
+        assert [p["value"] for p in regression["points"]] == [1.0, 1.0, 9.0]
+
+    def test_render_text_mentions_verdicts(self, tmp_path):
+        path = self._series(tmp_path, [1.0, 1.0, 9.0])
+        text = analyze_ledgers([path]).render_text()
+        assert "REGRESSED" in text
+        assert "status: regressed" in text
+
+
+class TestRealLedgers:
+    def test_repository_ledgers_are_clean(self, tmp_path):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        ledgers = sorted(repo.glob("BENCH_*.json"))
+        assert ledgers, "repository should carry benchmark ledgers"
+        report = analyze_ledgers(ledgers)
+        assert report.exit_code() == 0, [
+            (t.workload, t.metric, t.ratio) for t in report.regressions
+        ]
+
+
+class TestLedgerStamping:
+    """`benchmarks/_ledger.py` stamps are authoritative."""
+
+    def _append_run(self):
+        import importlib.util
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        spec = importlib.util.spec_from_file_location(
+            "bench_ledger", repo / "benchmarks" / "_ledger.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.append_run
+
+    def test_payload_cannot_override_stamps(self, tmp_path):
+        append_run = self._append_run()
+        entry = append_run(
+            tmp_path / "BENCH_t.json",
+            "t",
+            {"solve_seconds": 1.0, "commit": "forged", "recorded_at": "1999-01-01"},
+        )
+        assert entry["commit"] != "forged"
+        assert entry["recorded_at"] != "1999-01-01"
+        assert entry["recorded_at"]  # a real ISO timestamp was stamped
+        assert entry["solve_seconds"] == 1.0
+
+    def test_appended_entries_trend_chronologically(self, tmp_path):
+        append_run = self._append_run()
+        path = tmp_path / "BENCH_t.json"
+        # A legacy pre-ledger document is absorbed as the first entry...
+        path.write_text(json.dumps({"benchmark": "t", "solve_seconds": 1.0}))
+        for value in (1.1, 0.9, 1.2):
+            append_run(path, "t", {"solve_seconds": value})
+        _name, runs = load_ledger(path)
+        assert [run["solve_seconds"] for run in runs] == [1.0, 1.1, 0.9, 1.2]
+        assert runs[0]["commit"] == "unknown"
+        report = analyze_ledgers([path])
+        assert report.exit_code() == 0

@@ -1,0 +1,425 @@
+"""Fleet telemetry: push-gateway, federation scraping, health roll-ups.
+
+The behaviors under test are the ones the fleet story promises: pushed
+and scraped sources land in one instance-labeled exposition, a source
+that dies is marked down/stale and flips the rolled-up ``/healthz`` to
+503 within the staleness window, and a restarted source resumes cleanly
+under the same instance name.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricStore
+from repro.obs.fleet import (
+    FleetAggregator,
+    FleetStore,
+    PushClient,
+    parse_target,
+    push_gateway_from_env,
+    push_snapshot,
+)
+from repro.obs.http import SpanLog, TelemetryServer
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _healthy_snapshot(queries=3):
+    store = MetricStore()
+    store.count("queries_total", queries)
+    store.count("certificates_total", queries)
+    return store.as_dict()
+
+
+def _degraded_snapshot():
+    store = MetricStore()
+    store.count("certificates_total", 2)
+    store.count("certificates_degraded", 1)
+    return store.as_dict()
+
+
+class TestParseTarget:
+    def test_bare_url_labels_by_netloc(self):
+        assert parse_target("http://127.0.0.1:9700") == (
+            "127.0.0.1:9700",
+            "http://127.0.0.1:9700",
+        )
+
+    def test_named_target(self):
+        assert parse_target("solver-a=http://10.0.0.2:9700/") == (
+            "solver-a",
+            "http://10.0.0.2:9700",
+        )
+
+    def test_schemeless_target_gets_http(self):
+        instance, base = parse_target("127.0.0.1:9700")
+        assert instance == "127.0.0.1:9700"
+        assert base == "http://127.0.0.1:9700"
+
+    def test_unnameable_target_rejected(self):
+        with pytest.raises(ValueError):
+            parse_target("name=")
+
+
+class TestPushGatewayEnv:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PUSH_GATEWAY", raising=False)
+        assert push_gateway_from_env() is None
+
+    def test_empty_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PUSH_GATEWAY", "   ")
+        assert push_gateway_from_env() is None
+
+    def test_set_is_returned(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PUSH_GATEWAY", "http://127.0.0.1:9780")
+        assert push_gateway_from_env() == "http://127.0.0.1:9780"
+
+
+class TestFleetStore:
+    def test_push_then_exposition_carries_instance_labels(self):
+        fleet = FleetStore()
+        fleet.record_push("worker-1", _healthy_snapshot(queries=5), now=100.0)
+        fleet.record_push("worker-2", _healthy_snapshot(queries=7), now=100.0)
+        text = fleet.exposition(now=100.5)
+        assert 'repro_queries_total_total{instance="worker-1"} 5' in text
+        assert 'repro_queries_total_total{instance="worker-2"} 7' in text
+        assert 'repro_fleet_source_up{instance="worker-1"} 1' in text
+        assert "repro_fleet_sources 2" in text
+        assert text.endswith("# EOF\n")
+        # One family header even with two sources contributing samples.
+        assert text.count("# TYPE repro_queries_total_total counter") == 1
+
+    def test_repush_replaces_snapshot_and_counts(self):
+        fleet = FleetStore()
+        fleet.record_push("w", _healthy_snapshot(queries=1), now=10.0)
+        state = fleet.record_push("w", _healthy_snapshot(queries=9), now=11.0)
+        assert state.pushes == 2
+        assert 'repro_queries_total_total{instance="w"} 9' in fleet.exposition(now=11.0)
+        assert len(fleet) == 1
+
+    def test_stale_source_drops_up_and_degrades_health(self):
+        fleet = FleetStore(staleness_seconds=5.0)
+        fleet.record_push("w", _healthy_snapshot(), now=100.0)
+        assert fleet.health(now=101.0)["status"] == "ok"
+        text = fleet.exposition(now=120.0)
+        assert 'repro_fleet_source_up{instance="w"} 0' in text
+        verdict = fleet.health(now=120.0)
+        assert verdict["status"] == "degraded"
+        assert verdict["sources"]["w"]["status"] == "stale"
+        assert verdict["fleet"]["stale"] == 1
+
+    def test_degraded_certificates_degrade_the_rollup(self):
+        fleet = FleetStore()
+        fleet.record_push("ok-worker", _healthy_snapshot(), now=50.0)
+        fleet.record_push("bad-worker", _degraded_snapshot(), now=50.0)
+        verdict = fleet.health(now=50.1)
+        assert verdict["status"] == "degraded"
+        assert verdict["sources"]["ok-worker"]["status"] == "ok"
+        assert verdict["sources"]["bad-worker"]["status"] == "degraded"
+
+    def test_failure_marks_source_down_but_keeps_last_snapshot(self):
+        fleet = FleetStore()
+        fleet.record_scrape("s", _healthy_snapshot(queries=4), now=10.0)
+        fleet.record_failure("s", "connection refused")
+        verdict = fleet.health(now=10.5)
+        assert verdict["sources"]["s"]["status"] == "down"
+        assert verdict["sources"]["s"]["last_error"] == "connection refused"
+        # The dead worker's final state stays visible in the exposition.
+        text = fleet.exposition(now=10.5)
+        assert 'repro_queries_total_total{instance="s"} 4' in text
+        assert 'repro_fleet_source_up{instance="s"} 0' in text
+
+    def test_empty_fleet_is_healthy(self):
+        assert FleetStore().health()["status"] == "ok"
+
+    def test_traces_tagged_with_instance_and_limited(self):
+        fleet = FleetStore()
+        spans = [{"name": "solve", "seconds": 0.1}, {"name": "build", "seconds": 0.2}]
+        fleet.record_push("w1", _healthy_snapshot(), spans=spans, now=1.0)
+        fleet.record_push("w2", _healthy_snapshot(), spans=spans[:1], now=1.0)
+        merged = fleet.traces()
+        assert len(merged) == 3
+        assert {record["instance"] for record in merged} == {"w1", "w2"}
+        assert len(fleet.traces(limit=2)) == 2
+
+    def test_unmergeable_snapshot_counts_as_degraded(self):
+        fleet = FleetStore()
+        fleet.record_push("junk", {"counters": {"x": "not-a-number"}}, now=5.0)
+        assert fleet.health(now=5.1)["sources"]["junk"]["status"] == "degraded"
+
+    def test_local_snapshot_shares_family_headers(self):
+        fleet = FleetStore()
+        fleet.record_push("w", _healthy_snapshot(), now=1.0)
+        text = fleet.exposition(now=1.0, local=("gateway", _healthy_snapshot()))
+        assert 'repro_queries_total_total{instance="gateway"}' in text
+        assert text.count("# TYPE repro_queries_total_total counter") == 1
+
+
+class TestPushEndpoint:
+    def test_push_lands_in_federated_metrics(self):
+        fleet = FleetStore()
+        with TelemetryServer(MetricStore(), fleet=fleet, instance="gw") as server:
+            assert push_snapshot(server.url, _healthy_snapshot(queries=2), instance="w")
+            status, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert 'repro_queries_total_total{instance="w"} 2' in body
+
+    def test_push_client_normalises_gateway_url(self):
+        client = PushClient("127.0.0.1:9999/push/", instance="w")
+        assert client.url == "http://127.0.0.1:9999/push"
+        assert client.instance == "w"
+
+    def test_push_failure_is_swallowed_and_counted(self):
+        client = PushClient("http://127.0.0.1:1", instance="w", timeout=0.2)
+        assert client.push(_healthy_snapshot()) is False
+        assert client.failures == 1
+        assert client.last_error
+
+    def test_push_without_fleet_is_404(self):
+        with TelemetryServer(MetricStore()) as server:
+            client = PushClient(server.url, instance="w")
+            assert client.push(_healthy_snapshot()) is False
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not json",
+            b"[]",
+            b'{"metrics": {}}',
+            b'{"instance": "", "metrics": {}}',
+            b'{"instance": "w"}',
+            b'{"instance": "w", "metrics": {}, "spans": [1, 2]}',
+        ],
+    )
+    def test_malformed_push_is_400(self, payload):
+        fleet = FleetStore()
+        with TelemetryServer(MetricStore(), fleet=fleet) as server:
+            request = urllib.request.Request(
+                f"{server.url}/push",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+        assert len(fleet) == 0
+
+    def test_oversized_push_is_413(self):
+        fleet = FleetStore()
+        with TelemetryServer(MetricStore(), fleet=fleet) as server:
+            request = urllib.request.Request(
+                f"{server.url}/push",
+                data=b"{}",
+                headers={
+                    "Content-Type": "application/json",
+                    "Content-Length": str(64 * 1024 * 1024),
+                },
+            )
+            request.has_header = lambda name: True  # keep our Content-Length
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 413
+
+
+class TestFederationEndpoints:
+    def _gateway(self, fleet):
+        return TelemetryServer(MetricStore(), fleet=fleet, instance="gw")
+
+    def test_healthz_rolls_up_sources(self):
+        fleet = FleetStore()
+        fleet.record_push("good", _healthy_snapshot())
+        with self._gateway(fleet) as server:
+            status, body = _get(f"{server.url}/healthz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+            assert payload["fleet"]["sources"] == 1
+            assert payload["sources"]["good"]["status"] == "ok"
+
+            fleet.record_push("bad", _degraded_snapshot())
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/healthz", timeout=5.0)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["status"] == "degraded"
+            assert payload["sources"]["bad"]["status"] == "degraded"
+
+    def test_traces_merges_local_and_fleet(self):
+        fleet = FleetStore()
+        fleet.record_push("w", _healthy_snapshot(), spans=[{"name": "remote"}])
+        log = SpanLog()
+        log.extend([{"name": "local"}])
+        with TelemetryServer(MetricStore(), span_log=log, fleet=fleet) as server:
+            _status, body = _get(f"{server.url}/traces")
+        names = [json.loads(line)["name"] for line in body.splitlines()]
+        assert names == ["local", "remote"]
+
+
+class TestAggregator:
+    """End-to-end: aggregator scraping live telemetry servers."""
+
+    def _server(self, queries=3, port=0, instance=None):
+        store = MetricStore()
+        store.count("queries_total", queries)
+        store.count("certificates_total", queries)
+        return TelemetryServer(store, port=port, instance=instance)
+
+    def test_scrapes_two_live_servers(self):
+        fleet = FleetStore()
+        with self._server(queries=1) as one, self._server(queries=2) as two:
+            aggregator = FleetAggregator(
+                [("one", one.url), ("two", two.url)], store=fleet, timeout=2.0
+            )
+            assert aggregator.scrape_once(force=True) == 2
+        text = fleet.exposition()
+        assert 'repro_queries_total_total{instance="one"} 1' in text
+        assert 'repro_queries_total_total{instance="two"} 2' in text
+        assert 'repro_fleet_source_up{instance="one"} 1' in text
+        assert 'repro_fleet_source_scrapes_total{instance="one"} 1' in text
+        assert fleet.health()["status"] == "ok"
+
+    def test_killed_source_flips_rollup_to_503(self):
+        fleet = FleetStore(staleness_seconds=60.0)
+        one = self._server(queries=1)
+        two = self._server(queries=2)
+        one.start()
+        two.start()
+        aggregator = FleetAggregator(
+            [("one", one.url), ("two", two.url)], store=fleet, timeout=2.0
+        )
+        gateway = TelemetryServer(MetricStore(), fleet=fleet, instance="gw")
+        gateway.start()
+        try:
+            assert aggregator.scrape_once(force=True) == 2
+            status, _body = _get(f"{gateway.url}/healthz")
+            assert status == 200
+
+            two.stop()  # the "killed" worker
+            assert aggregator.scrape_once(force=True) == 1
+
+            text = fleet.exposition()
+            assert 'repro_fleet_source_up{instance="two"} 0' in text
+            assert 'repro_fleet_source_up{instance="one"} 1' in text
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{gateway.url}/healthz", timeout=5.0)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["sources"]["two"]["status"] == "down"
+            assert payload["sources"]["one"]["status"] == "ok"
+        finally:
+            one.stop()
+            gateway.stop()
+
+    def test_restarted_source_resumes_under_same_instance(self):
+        fleet = FleetStore(staleness_seconds=60.0)
+        first = self._server(queries=1)
+        first.start()
+        port = first.port
+        aggregator = FleetAggregator(
+            [("phoenix", first.url)], store=fleet, timeout=2.0
+        )
+        try:
+            assert aggregator.scrape_once(force=True) == 1
+            first.stop()
+            assert aggregator.scrape_once(force=True) == 0
+            assert fleet.health()["sources"]["phoenix"]["status"] == "down"
+
+            reborn = self._server(queries=8, port=port)
+            reborn.start()
+            try:
+                assert aggregator.scrape_once(force=True) == 1
+            finally:
+                reborn.stop()
+        finally:
+            if first._thread is not None:  # already stopped above on success
+                first.stop()
+        verdict = fleet.health()
+        assert verdict["status"] == "ok"
+        assert verdict["sources"]["phoenix"]["status"] == "ok"
+        assert 'repro_queries_total_total{instance="phoenix"} 8' in fleet.exposition()
+        assert len(fleet) == 1
+
+    def test_failed_target_backs_off_exponentially(self):
+        fleet = FleetStore()
+        aggregator = FleetAggregator(
+            [("dead", "http://127.0.0.1:1")],
+            store=fleet,
+            interval=1.0,
+            timeout=0.2,
+            backoff_max=4.0,
+        )
+        import time
+
+        target = aggregator.targets[0]
+        delays = []
+        for _ in range(4):
+            before = time.monotonic()
+            aggregator.scrape_once(force=True)
+            delays.append(target.next_due - before)
+        assert delays[0] == pytest.approx(1.0, abs=0.5)
+        assert delays[1] == pytest.approx(2.0, abs=0.5)
+        assert delays[2] == pytest.approx(4.0, abs=0.5)
+        assert delays[3] == pytest.approx(4.0, abs=0.5), "capped at backoff_max"
+        assert fleet.health()["sources"]["dead"]["status"] == "down"
+
+    def test_degraded_healthz_is_still_a_successful_scrape(self):
+        store = MetricStore()
+        store.count("certificates_total", 1)
+        store.count("certificates_degraded", 1)
+        fleet = FleetStore()
+        with TelemetryServer(store, instance="sick") as server:
+            aggregator = FleetAggregator(
+                [("sick", server.url)], store=fleet, timeout=2.0
+            )
+            assert aggregator.scrape_once(force=True) == 1
+        verdict = fleet.health()
+        assert verdict["sources"]["sick"]["status"] == "degraded"
+        assert verdict["sources"]["sick"]["up"] is True
+
+    def test_engine_batch_pushes_to_gateway(self):
+        from repro.engine.solver import run_batch_dicts
+
+        fleet = FleetStore()
+        with TelemetryServer(MetricStore(), fleet=fleet, instance="gw") as server:
+            batch = run_batch_dicts(
+                [{"model": {"family": "ftwc", "n": 1}, "t": 1.0}],
+                push_gateway=server.url,
+                instance="engine-test",
+            )
+            assert batch.num_failed == 0
+            _status, body = _get(f"{server.url}/metrics")
+        assert "engine-test" in fleet.instances()
+        assert 'repro_queries_total_total{instance="engine-test"} 1' in body
+
+    def test_engine_env_gateway_fallback(self, monkeypatch):
+        from repro.engine.solver import run_batch_dicts
+
+        fleet = FleetStore()
+        with TelemetryServer(MetricStore(), fleet=fleet) as server:
+            monkeypatch.setenv("REPRO_PUSH_GATEWAY", server.url)
+            run_batch_dicts(
+                [{"model": {"family": "ftwc", "n": 1}, "t": 1.0}],
+                instance="env-wired",
+            )
+        assert "env-wired" in fleet.instances()
+
+    def test_background_thread_scrapes_until_stopped(self):
+        fleet = FleetStore()
+        with self._server(queries=6) as server:
+            with FleetAggregator(
+                [("bg", server.url)], store=fleet, interval=0.05, timeout=2.0
+            ):
+                deadline = threading.Event()
+                for _ in range(100):
+                    if fleet.health()["sources"].get("bg", {}).get("up"):
+                        break
+                    deadline.wait(0.05)
+        assert fleet.health()["sources"]["bg"]["up"] is True

@@ -123,6 +123,49 @@ class TestLifecycle:
         assert all(body.endswith("# EOF\n") for body in bodies)
 
 
+class TestQueryValidation:
+    """Junk query strings answer 400, not a traceback-into-500."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "limit=frob",
+            "limit=-1",
+            "limit=1e3",
+            "limit=" + "9" * 40,
+        ],
+    )
+    def test_bad_traces_limit_is_400(self, store, query):
+        with TelemetryServer(store) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/traces?{query}", timeout=5.0)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert "error" in payload
+
+    def test_unknown_metrics_format_is_400(self, store):
+        with TelemetryServer(store) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"{server.url}/metrics?format=xml", timeout=5.0
+                )
+        assert excinfo.value.code == 400
+
+    def test_json_metrics_snapshot_carries_instance(self, store):
+        with TelemetryServer(store, instance="me") as server:
+            _status, _headers, body = _get(f"{server.url}/metrics?format=json")
+        payload = json.loads(body)
+        assert payload["instance"] == "me"
+        assert payload["metrics"]["counters"]["queries_total"] == 3
+
+    def test_valid_limit_still_works(self, store):
+        log = SpanLog()
+        log.extend([{"name": f"s{i}"} for i in range(5)])
+        with TelemetryServer(store, span_log=log) as server:
+            _status, _headers, body = _get(f"{server.url}/traces?limit=2")
+        assert len(body.splitlines()) == 2
+
+
 class TestSpanLog:
     def test_ring_buffer_bounds_memory(self):
         log = SpanLog(maxlen=3)
@@ -136,3 +179,52 @@ class TestSpanLog:
         assert len(log.tail(100)) == 2
         assert log.tail(0) == []
         assert [r["name"] for r in log.tail(1)] == ["b"]
+
+    def test_concurrent_extends_lose_nothing(self):
+        import threading
+
+        log = SpanLog(maxlen=100_000)
+        writers, per_writer = 8, 1000
+        barrier = threading.Barrier(writers)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_writer):
+                log.extend([{"worker": worker, "index": i}])
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = log.tail()
+        assert len(records) == writers * per_writer
+        # Per-writer order is preserved even under interleaving.
+        for worker in range(writers):
+            indices = [r["index"] for r in records if r["worker"] == worker]
+            assert indices == list(range(per_writer))
+
+    def test_concurrent_extend_and_tail(self):
+        import threading
+
+        log = SpanLog(maxlen=256)
+        stop = threading.Event()
+
+        def write() -> None:
+            i = 0
+            while not stop.is_set():
+                log.extend([{"index": i}])
+                i += 1
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(200):
+                tail = log.tail(16)
+                indices = [record["index"] for record in tail]
+                assert indices == sorted(indices), "torn tail read"
+        finally:
+            stop.set()
+            writer.join()

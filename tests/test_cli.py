@@ -357,6 +357,107 @@ class TestBatchCommand:
         assert document["results"][1]["error"] is not None
 
 
+class TestBenchTrendCommand:
+    def _write_ledger(self, path, values):
+        runs = [
+            {
+                "commit": f"c{i}",
+                "recorded_at": f"2026-01-0{i + 1}T00:00:00+00:00",
+                "solve_seconds": value,
+            }
+            for i, value in enumerate(values)
+        ]
+        path.write_text(
+            json.dumps({"benchmark": "synthetic", "runs": runs}), encoding="utf-8"
+        )
+
+    def test_clean_ledger_exits_0(self, tmp_path, capsys):
+        ledger = tmp_path / "BENCH_ok.json"
+        self._write_ledger(ledger, [1.0, 1.1, 0.95])
+        assert main(["bench", "trend", "--ledger", str(ledger)]) == 0
+        assert "status: ok" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_1(self, tmp_path, capsys):
+        ledger = tmp_path / "BENCH_bad.json"
+        self._write_ledger(ledger, [1.0, 1.1, 0.95, 50.0])
+        assert main(["bench", "trend", "--ledger", str(ledger)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        ledger = tmp_path / "BENCH_bad.json"
+        self._write_ledger(ledger, [1.0, 1.1, 0.95, 50.0])
+        assert main(["bench", "trend", "--ledger", str(ledger), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["status"] == "regressed"
+        assert document["regressions"][0]["metric"] == "solve_seconds"
+
+    def test_threshold_flag(self, tmp_path):
+        ledger = tmp_path / "BENCH_t.json"
+        self._write_ledger(ledger, [1.0, 1.0, 1.4])
+        assert main(["bench", "trend", "--ledger", str(ledger)]) == 0
+        assert (
+            main(["bench", "trend", "--ledger", str(ledger), "--threshold", "0.2"])
+            == 1
+        )
+
+    def test_repository_ledgers_are_clean(self, monkeypatch, capsys):
+        repo = Path(__file__).parent.parent
+        assert sorted(repo.glob("BENCH_*.json")), "repo should have ledgers"
+        monkeypatch.chdir(repo)
+        assert main(["bench", "trend"]) == 0
+
+    def test_no_ledgers_is_usage_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "trend"]) == 2
+        assert "no ledgers" in capsys.readouterr().err
+
+    def test_unreadable_ledger_is_usage_error(self, tmp_path, capsys):
+        ledger = tmp_path / "BENCH_junk.json"
+        ledger.write_text("not json")
+        assert main(["bench", "trend", "--ledger", str(ledger)]) == 2
+
+
+class TestObsAggCommand:
+    def test_bad_scrape_target_is_usage_error(self, capsys):
+        assert main(["obs-agg", "--scrape", "name=", "--duration", "0"]) == 2
+        assert "bad --scrape target" in capsys.readouterr().err
+
+    def test_gateway_round_trip(self, capsys):
+        import threading
+        import urllib.request
+
+        from repro.obs.fleet import push_snapshot
+
+        # Run the gateway long enough for one push, on an ephemeral port.
+        result: dict[str, int] = {}
+
+        def run() -> None:
+            result["code"] = main(["obs-agg", "--port", "0", "--duration", "2.5"])
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            import re
+            import time
+
+            url = None
+            for _ in range(50):
+                err = capsys.readouterr().err
+                match = re.search(r"listening on (http://\S+)", err)
+                if match:
+                    url = match.group(1)
+                    break
+                time.sleep(0.05)
+            assert url, "gateway never announced its URL"
+            assert push_snapshot(url, {"counters": {"queries_total": 4}}, instance="w")
+            with urllib.request.urlopen(f"{url}/metrics", timeout=5.0) as response:
+                body = response.read().decode("utf-8")
+            assert 'repro_queries_total_total{instance="w"} 4' in body
+        finally:
+            thread.join(timeout=10.0)
+        assert result["code"] == 0
+
+
 class TestServeCommand:
     def test_serve_round_trip(self, monkeypatch, capsys):
         requests = [
