@@ -206,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
         "reachability, end-component traps, deadlocks, vanishing "
         "cycles); file goals come from a sibling .lab",
     )
+    lint.add_argument(
+        "--self",
+        action="store_true",
+        dest="self_",
+        help="lint the repro source tree itself (Txxx codes: lock "
+        "discipline, lock-order cycles, float equality, "
+        "order-dependent rate sums); combinable with paths to .py "
+        "files",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -604,11 +613,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.lint import LintReport, lint_graph, lint_model, lint_path, lint_pipeline
 
-    if not args.paths and args.model is None:
-        print("nothing to lint: pass model files or --model", file=sys.stderr)
+    if not args.paths and args.model is None and not args.self_:
+        print(
+            "nothing to lint: pass model files, --model or --self",
+            file=sys.stderr,
+        )
         return 2
 
     reports: list[LintReport] = []
+    if args.self_:
+        from repro.tsan import lint_self
+
+        reports.append(lint_self())
     for path in args.paths:
         try:
             reports.append(lint_path(path, graph=args.graph))

@@ -46,8 +46,13 @@ class Transition:
     rates: Mapping[int, float]
 
     def total_rate(self) -> float:
-        """The exit rate ``E_R`` of this transition's rate function."""
-        return float(sum(self.rates.values()))
+        """The exit rate ``E_R`` of this transition's rate function.
+
+        ``math.fsum`` keeps the value independent of dictionary order:
+        exit rates feed uniformity checks and bisimulation signatures,
+        where two orderings of the same rates must not disagree.
+        """
+        return math.fsum(self.rates.values())
 
 
 class CTMDP:

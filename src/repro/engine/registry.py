@@ -40,6 +40,8 @@ from repro.io.tra import read_ctmc_tra, read_ctmdp_tra, write_ctmc_tra, write_ct
 from repro.lint.sanitize import sanitize_enabled, sanitize_model
 from repro.models import ftwc, ftwc_direct
 from repro.obs import span
+from repro.tsan.registry import guarded_by
+from repro.tsan.runtime import monitored_lock
 
 __all__ = ["BuiltModel", "ModelRegistry", "default_cache_dir", "describe_spec"]
 
@@ -108,8 +110,16 @@ class BuiltModel:
             raise ModelError(f"unknown goal label {label!r}; known labels: {known}") from None
 
 
+@guarded_by("_lock", "_memory")
 class ModelRegistry:
-    """Two-level (memory, disk) content-addressed cache of built models."""
+    """Two-level (memory, disk) content-addressed cache of built models.
+
+    The in-process store is shared by ``repro serve``'s stdio loop and
+    the telemetry endpoints' handler threads, so ``_memory`` is guarded
+    by ``_lock``.  Builds and disk loads run *outside* the lock — they
+    are slow, and the key is a content address, so a concurrent
+    duplicate build resolves to an identical entry (last insert wins).
+    """
 
     def __init__(
         self,
@@ -119,6 +129,7 @@ class ModelRegistry:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics if metrics is not None else EngineMetrics()
         self._memory: dict[str, BuiltModel] = {}
+        self._lock = monitored_lock("ModelRegistry._lock")
 
     # ------------------------------------------------------------------
     # Lookup
@@ -135,7 +146,8 @@ class ModelRegistry:
         normalized = normalize_spec(spec)
         key = model_key(normalized)
         with span("registry.get", family=normalized.get("family"), n=normalized.get("n")) as sp:
-            cached = self._memory.get(key)
+            with self._lock:
+                cached = self._memory.get(key)
             if cached is not None:
                 self.metrics.count("cache_hits_memory")
                 cached.source = "memory"
@@ -146,14 +158,16 @@ class ModelRegistry:
             if loaded is not None:
                 self.metrics.count("cache_hits_disk")
                 self._sanitize(loaded)
-                self._memory[key] = loaded
+                with self._lock:
+                    self._memory[key] = loaded
                 if sp is not None:
                     sp.annotate(source="disk", key=key)
                 return loaded
             self.metrics.count("cache_misses")
             built = self._build(key, normalized)
             self._sanitize(built)
-            self._memory[key] = built
+            with self._lock:
+                self._memory[key] = built
             self._store_to_disk(built)
             if sp is not None:
                 sp.annotate(source="build", key=key, states=built.model.num_states)
@@ -172,14 +186,18 @@ class ModelRegistry:
         self.metrics.count("sanitize_checks")
 
     def __contains__(self, spec: Mapping[str, Any]) -> bool:
-        return model_key(spec) in self._memory
+        key = model_key(spec)
+        with self._lock:
+            return key in self._memory
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear_memory(self) -> None:
         """Drop the in-process store (the disk cache is untouched)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # ------------------------------------------------------------------
     # Building
@@ -368,7 +386,7 @@ class ModelRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = str(self.cache_dir) if self.cache_dir is not None else "memory-only"
-        return f"ModelRegistry({len(self._memory)} in memory, cache={where})"
+        return f"ModelRegistry({len(self)} in memory, cache={where})"
 
 
 def describe_spec(spec: Mapping[str, Any]) -> str:

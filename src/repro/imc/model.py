@@ -211,17 +211,21 @@ class IMC:
         return result
 
     def exit_rate(self, state: int) -> float:
-        """The exit rate ``E_s = r(s, S)``."""
-        return sum(rate for rate, _ in self.markov_successors(state))
+        """The exit rate ``E_s = r(s, S)`` (order-independent ``fsum``)."""
+        return math.fsum(rate for rate, _ in self.markov_successors(state))
 
     def rate(self, src: int, dst: int) -> float:
         """Cumulative rate ``Rate(src, dst)``."""
-        return sum(rate for rate, target in self.markov_successors(src) if target == dst)
+        return math.fsum(
+            rate for rate, target in self.markov_successors(src) if target == dst
+        )
 
     def rate_into(self, src: int, targets: Iterable[int]) -> float:
         """Cumulative rate ``r(src, C)`` into a set of states ``C``."""
         target_set = set(targets)
-        return sum(rate for rate, dst in self.markov_successors(src) if dst in target_set)
+        return math.fsum(
+            rate for rate, dst in self.markov_successors(src) if dst in target_set
+        )
 
     # ------------------------------------------------------------------
     # Reachability and uniformity

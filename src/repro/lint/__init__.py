@@ -43,6 +43,7 @@ from repro.lint.diagnostics import (
     Severity,
     code_title,
     make_diagnostic,
+    render_code_table,
     sort_diagnostics,
 )
 from repro.lint.files import lint_path, lint_tra_scan, sibling_goal_mask
@@ -52,7 +53,7 @@ from repro.lint.pipeline import (
     check_hiding_invariant,
     lint_pipeline,
 )
-from repro.lint.sanitize import sanitize_enabled, sanitize_model, sanitizing
+from repro.lint.sanitize import env_flag, sanitize_enabled, sanitize_model, sanitizing
 
 __all__ = [
     "CODES",
@@ -61,6 +62,7 @@ __all__ = [
     "Severity",
     "code_title",
     "make_diagnostic",
+    "render_code_table",
     "sort_diagnostics",
     "lint_ctmc",
     "lint_ctmdp",
@@ -77,6 +79,7 @@ __all__ = [
     "lint_pipeline",
     "check_composition_invariant",
     "check_hiding_invariant",
+    "env_flag",
     "sanitize_enabled",
     "sanitize_model",
     "sanitizing",

@@ -43,6 +43,7 @@ __all__ = [
     "CODES",
     "code_title",
     "make_diagnostic",
+    "render_code_table",
     "sort_diagnostics",
 ]
 
@@ -96,12 +97,37 @@ CODES: dict[str, tuple[Severity, str]] = {
     "Q002": (Severity.WARNING, "goal-free absorbing end component (probability trap)"),
     "Q003": (Severity.ERROR, "reachable deadlock state"),
     "Q004": (Severity.ERROR, "vanishing-state cycle (interactive SCC)"),
+    # --- Concurrency / numeric self-lint (repro.tsan) ---------------------
+    "T001": (Severity.ERROR, "guarded attribute accessed without its lock"),
+    "T002": (Severity.ERROR, "lock-order cycle (potential deadlock)"),
+    "T003": (Severity.ERROR, "lock attribute without @guarded_by declaration"),
+    "T004": (Severity.ERROR, "bare float equality comparison"),
+    "T005": (Severity.ERROR, "order-dependent sum() over rates"),
 }
 
 
 def code_title(code: str) -> str:
     """The registered one-line title of ``code``."""
     return CODES[code][1]
+
+
+def render_code_table() -> str:
+    """The :data:`CODES` registry as a GitHub-flavoured markdown table.
+
+    ``docs/lint.md`` embeds exactly this rendering between the
+    ``<!-- codes:begin -->`` / ``<!-- codes:end -->`` markers; the drift
+    test in ``tests/lint/test_diagnostics.py`` regenerates the table and
+    fails when a code is added without refreshing the docs (run
+    ``python -m repro.lint.diagnostics`` to print a fresh table).
+    """
+    lines = [
+        "| code | severity | meaning |",
+        "|------|----------|---------|",
+    ]
+    for code in sorted(CODES):
+        severity, title = CODES[code]
+        lines.append(f"| {code} | {severity.value} | {title} |")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -265,3 +291,7 @@ class LintReport:
         if counts["warnings"]:
             parts.append(f"{counts['warnings']} warning(s)")
         return ", ".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover - doc regeneration helper
+    print(render_code_table())

@@ -147,6 +147,15 @@ def lint_path(path: str | Path, graph: bool = False, **options: bool) -> LintRep
         When the file cannot be read.
     """
     path = Path(path)
+    if path.suffix == ".py":
+        # Source files route to the concurrency/numerics self-lint
+        # (``Txxx`` codes) -- this is how the planted defect fixtures
+        # under ``tests/fixtures/tsan/`` are linted individually.
+        from repro.tsan.static import lint_source
+
+        report = LintReport(target=str(path), kind="python")
+        report.extend(lint_source([path]))
+        return report
     if path.suffix == ".tra":
         scan = scan_tra(path)
         report = LintReport(target=str(path), kind=scan.kind)
@@ -170,7 +179,7 @@ def lint_path(path: str | Path, graph: bool = False, **options: bool) -> LintRep
         return report
     raise ModelError(
         f"cannot lint {path}: unknown suffix {path.suffix!r} "
-        "(expected .tra or .json)"
+        "(expected .tra, .json or .py)"
     )
 
 

@@ -24,6 +24,7 @@ locally::
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from typing import Iterator, Union
 
@@ -37,24 +38,55 @@ from repro.lint.analyzers import lint_model
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.mdp.model import DTMDP
 
-__all__ = ["sanitize_enabled", "sanitizing", "sanitize_model"]
+__all__ = ["env_flag", "sanitize_enabled", "sanitizing", "sanitize_model"]
 
-_TRUTHY = ("1", "true", "yes", "on")
+#: Accepted boolean spellings for repro environment toggles, after
+#: whitespace stripping and lowercasing.  Anything else is *not*
+#: silently coerced: see :func:`env_flag`.
+TRUTHY_VALUES = frozenset({"1", "true", "yes", "on"})
+FALSY_VALUES = frozenset({"", "0", "false", "no", "off"})
 
 #: Nesting depth of active ``sanitizing()`` context managers.
 _forced_depth = 0
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse the boolean environment variable ``name``.
+
+    Accepted values (case-insensitive, surrounding whitespace ignored):
+    ``1``/``true``/``yes``/``on`` enable, ``0``/``false``/``no``/``off``
+    and the empty string disable; an unset variable yields ``default``.
+    Any other value raises a :class:`UserWarning` and counts as
+    *enabled* — for the sanitizer flags guarding correctness checks,
+    failing safe means checking more, not less.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in TRUTHY_VALUES:
+        return True
+    if value in FALSY_VALUES:
+        return False
+    warnings.warn(
+        f"unrecognised value {raw!r} for ${name}; expected one of "
+        f"1/true/yes/on or 0/false/no/off -- treating it as enabled",
+        stacklevel=2,
+    )
+    return True
 
 
 def sanitize_enabled() -> bool:
     """True iff sanitizer hooks should run.
 
     Either the ``REPRO_SANITIZE`` environment variable is set to a
-    truthy value (``1``/``true``/``yes``/``on``), or the calling thread
+    truthy value (``1``/``true``/``yes``/``on``; ``0``/``false``/``no``/
+    ``off``/unset disable — see :func:`env_flag`), or the calling thread
     is inside a :func:`sanitizing` context.
     """
     if _forced_depth > 0:
         return True
-    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+    return env_flag("REPRO_SANITIZE")
 
 
 @contextmanager

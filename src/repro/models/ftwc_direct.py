@@ -42,6 +42,7 @@ counts of Table 1.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -245,7 +246,7 @@ def _race(config: Config, params: FTWCParameters, total: float) -> dict[Config, 
     if config.repairing:
         add(config.after_repair(), params.repair_rate(config.repairing))
 
-    padding = total - sum(rates.values())
+    padding = total - math.fsum(rates.values())
     add(config, padding)
     return rates
 

@@ -26,6 +26,7 @@ The model is a natural fit for the paper's machinery:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Sequence
@@ -101,7 +102,7 @@ def build_job_scheduling(
         raise ModelError("need at least one processor")
 
     m = len(rates)
-    total_rate = sum(rates)
+    total_rate = math.fsum(rates)
     num_states = 1 << m
 
     transitions: list[tuple[int, str, dict[int, float]]] = []

@@ -41,6 +41,8 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.obs.certificate import health_summary
 from repro.obs.export import escape_label_value, prometheus_federation
 from repro.obs.metrics import MetricStore
+from repro.tsan.registry import guarded_by, holds_lock
+from repro.tsan.runtime import monitored_lock
 
 __all__ = [
     "FleetAggregator",
@@ -109,24 +111,29 @@ class SourceState:
         return "ok"
 
 
+@guarded_by("_lock", "_sources")
 class FleetStore:
     """Thread-safe per-instance multi-store behind the fleet endpoints.
 
     ``staleness_seconds`` is the freshness window: a source whose last
     successful contact is older is marked stale (``repro_fleet_source_up``
     drops to 0 and the rolled-up health degrades).  ``trace_tail``
-    bounds the spans retained per source.
+    bounds the spans retained per source.  ``_lock`` guards the source
+    map *and* the :class:`SourceState` records inside it — states never
+    leave the lock except as the return value of the ``record_*``
+    methods, whose callers own the push/scrape that produced them.
     """
 
     def __init__(self, staleness_seconds: float = 10.0, trace_tail: int = 256) -> None:
         self.staleness_seconds = float(staleness_seconds)
         self.trace_tail = int(trace_tail)
         self._sources: dict[str, SourceState] = {}
-        self._lock = threading.Lock()
+        self._lock = monitored_lock("FleetStore._lock")
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    @holds_lock("_lock")
     def _state(self, instance: str) -> SourceState:
         state = self._sources.get(instance)
         if state is None:
@@ -223,6 +230,17 @@ class FleetStore:
         with self._lock:
             return len(self._sources)
 
+    def failure_count(self, instance: str) -> int:
+        """Consecutive failed contact attempts for ``instance`` (0 if unknown).
+
+        The accessor the aggregator's backoff schedule reads -- callers
+        must not reach into ``_sources`` themselves.
+        """
+        with self._lock:
+            state = self._sources.get(str(instance))
+            return state.consecutive_failures if state is not None else 0
+
+    @holds_lock("_lock")
     def _sorted_states(self) -> list[SourceState]:
         return [self._sources[name] for name in sorted(self._sources)]
 
@@ -622,10 +640,7 @@ class FleetAggregator:
                 successes += 1
                 target.next_due = clock + self.interval
             else:
-                with self.store._lock:
-                    failures = self.store._sources[
-                        target.instance
-                    ].consecutive_failures
+                failures = self.store.failure_count(target.instance)
                 delay = min(self.interval * (2.0 ** max(0, failures - 1)), self.backoff_max)
                 target.next_due = clock + delay
         return successes

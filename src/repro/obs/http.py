@@ -58,6 +58,8 @@ from urllib.parse import parse_qs
 from repro.obs.certificate import health_summary
 from repro.obs.export import prometheus_exposition
 from repro.obs.metrics import MetricStore
+from repro.tsan.registry import guarded_by
+from repro.tsan.runtime import monitored_lock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.fleet import FleetStore
@@ -74,6 +76,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _MAX_QUERY_VALUE_LENGTH = 9
 
 
+@guarded_by("_lock", "_records")
 class SpanLog:
     """Thread-safe ring buffer of finished span records.
 
@@ -84,7 +87,7 @@ class SpanLog:
 
     def __init__(self, maxlen: int = 512) -> None:
         self._records: deque[dict[str, Any]] = deque(maxlen=maxlen)
-        self._lock = threading.Lock()
+        self._lock = monitored_lock("SpanLog._lock")
 
     def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
         """Append finished span records, oldest first."""
@@ -306,6 +309,7 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging; scrapes are frequent."""
 
 
+@guarded_by("_lock", "_thread")
 class TelemetryServer(ThreadingHTTPServer):
     """HTTP telemetry listener over a metric store and a span log.
 
@@ -343,6 +347,7 @@ class TelemetryServer(ThreadingHTTPServer):
             instance = default_instance()
         self.instance = instance
         self._thread: threading.Thread | None = None
+        self._lock = monitored_lock("TelemetryServer._lock")
         super().__init__((host, port), _TelemetryHandler)
 
     @property
@@ -357,20 +362,29 @@ class TelemetryServer(ThreadingHTTPServer):
 
     def start(self) -> "TelemetryServer":
         """Serve on a daemon thread; returns ``self`` for chaining."""
-        if self._thread is not None:
-            raise RuntimeError("telemetry server already started")
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="repro-obs-http", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("telemetry server already started")
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-obs-http", daemon=True
+            )
+            self._thread.start()
         return self
 
     def stop(self) -> None:
-        """Stop serving, join the listener thread, close the socket."""
-        if self._thread is not None:
-            self.shutdown()
-            self._thread.join(timeout=5.0)
+        """Stop serving, join the listener thread, close the socket.
+
+        The listener handle is swapped out under the lock, but
+        ``shutdown``/``join`` run outside it: ``shutdown`` blocks until
+        ``serve_forever`` drains, and holding a lock across that wait
+        is exactly the shape the sanitizer exists to flag.
+        """
+        with self._lock:
+            thread = self._thread
             self._thread = None
+        if thread is not None:
+            self.shutdown()
+            thread.join(timeout=5.0)
         self.server_close()
 
     def __enter__(self) -> "TelemetryServer":

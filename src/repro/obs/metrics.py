@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import json
 import math
-import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
+
+from repro.tsan.registry import guarded_by, holds_lock
+from repro.tsan.runtime import monitored_lock
 
 __all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricStore"]
 
@@ -89,6 +91,7 @@ class Histogram:
                 "sum": self.sum, "count": self.count}
 
 
+@guarded_by("_lock", "counters", "timers", "gauges", "histograms", "infos")
 class MetricStore:
     """A thread-safe bag of counters, timers, gauges and histograms."""
 
@@ -98,7 +101,7 @@ class MetricStore:
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
         self.infos: dict[str, dict[str, str]] = {}
-        self._lock = threading.Lock()
+        self._lock = monitored_lock(f"{type(self).__name__}._lock")
 
     # ------------------------------------------------------------------
     # Recording
@@ -125,6 +128,7 @@ class MetricStore:
         with self._lock:
             self._set_gauge(name, float(value))
 
+    @holds_lock("_lock")
     def _set_gauge(self, name: str, value: float) -> None:
         if name in self.gauges:
             if name.endswith("_max"):
@@ -208,16 +212,20 @@ class MetricStore:
     # ------------------------------------------------------------------
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (zero if never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds of timer ``name`` (zero if never used)."""
-        return self.timers.get(name, 0.0)
+        with self._lock:
+            return self.timers.get(name, 0.0)
 
     def gauge_value(self, name: str, default: float = math.nan) -> float:
         """Current value of gauge ``name`` (``default`` if never set)."""
-        return self.gauges.get(name, default)
+        with self._lock:
+            return self.gauges.get(name, default)
 
+    @holds_lock("_lock")
     def as_dict_unlocked(self) -> dict:
         """The snapshot without taking the lock (callers must hold it)."""
         snapshot: dict = {
@@ -267,4 +275,8 @@ class MetricStore:
         return prometheus_exposition(self, prefix=prefix, labels=labels)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(counters={self.counters}, timers={self.timers})"
+        with self._lock:
+            return (
+                f"{type(self).__name__}"
+                f"(counters={self.counters}, timers={self.timers})"
+            )

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import tracemalloc
 import uuid
@@ -373,7 +374,25 @@ def _render_attributes(attributes: dict[str, Any]) -> str:
 # ----------------------------------------------------------------------
 # The active-tracer slot and the zero-overhead disabled path
 # ----------------------------------------------------------------------
+#
+# Thread affinity: a :class:`Tracer` is single-threaded by design --
+# spans nest via a plain stack, so all ``span()`` scopes must open and
+# close on the thread that activated the tracer.  Cross-thread
+# telemetry goes through the *locked* sinks instead
+# (:class:`~repro.obs.http.SpanLog`, :class:`~repro.obs.metrics.MetricStore`),
+# and worker results re-enter the owning thread's tracer via
+# :meth:`Tracer.adopt`.  The module global below is therefore exempt
+# from the ``@guarded_by`` discipline checked by ``repro lint --self``:
+# ``current_tracer()``/``span()`` perform a single reference read
+# (atomic in CPython), while the activate/deactivate transitions in
+# :func:`tracing` and :func:`reset_subprocess_tracer` -- the only
+# check-then-set windows -- serialise on ``_ACTIVE_LOCK``.
 _ACTIVE: Tracer | None = None
+
+#: Serialises the activate/deactivate transitions of ``_ACTIVE``; never
+#: held while user code runs, so it cannot participate in a lock-order
+#: cycle with the monitored telemetry locks.
+_ACTIVE_LOCK = threading.Lock()
 
 #: Shared, re-enterable no-op context manager returned while tracing is
 #: disabled; yields ``None`` so instrumentation sites can guard optional
@@ -396,7 +415,8 @@ def reset_subprocess_tracer() -> None:
     shipped back explicitly.
     """
     global _ACTIVE
-    _ACTIVE = None
+    with _ACTIVE_LOCK:
+        _ACTIVE = None
 
 
 def span(name: str, **attributes: Any) -> ContextManager[Span | None]:
@@ -415,16 +435,25 @@ def tracing(track_allocations: bool = False, trace_id: str | None = None) -> Ite
     catches accidental double-instrumentation early.  ``trace_id`` pins
     the trace identifier -- process-pool workers pass the parent's id so
     the merged trace is one logical trace.
+
+    The not-already-active check and the activation are one atomic step
+    under ``_ACTIVE_LOCK``, so two threads racing into ``tracing()``
+    cannot both pass the check and silently share (then doubly clear)
+    the slot; the loser gets the same ``RuntimeError`` as a nested
+    activation.  The activated tracer itself remains single-threaded --
+    see the thread-affinity note above ``_ACTIVE``.
     """
     global _ACTIVE
-    if _ACTIVE is not None:
-        raise RuntimeError("a tracer is already active; tracing scopes do not nest")
     tracer = Tracer(track_allocations=track_allocations, trace_id=trace_id)
-    _ACTIVE = tracer
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError("a tracer is already active; tracing scopes do not nest")
+        _ACTIVE = tracer
     try:
         yield tracer
     finally:
-        _ACTIVE = None
+        with _ACTIVE_LOCK:
+            _ACTIVE = None
         tracer.close()
 
 

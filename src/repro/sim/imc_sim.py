@@ -12,6 +12,7 @@ them exactly when the resolution policy mirrors an extracted scheduler.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
 import numpy as np
@@ -109,7 +110,7 @@ def simulate_imc_reachability(
             markov = imc.markov_successors(state)
             if not markov:
                 break  # absorbing, goal unreachable
-            total = sum(rate for rate, _ in markov)
+            total = math.fsum(rate for rate, _ in markov)
             clock += rng.exponential(1.0 / total)
             if clock > t:
                 break

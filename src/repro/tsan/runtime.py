@@ -1,0 +1,244 @@
+"""Runtime lock-order sanitizer: instrumented locks under ``REPRO_SANITIZE``.
+
+The static pass (:mod:`repro.tsan.static`) sees only what the syntax
+shows; aliased locks or data-dependent acquisition orders escape it.
+This module closes the gap the way lockdep does: every instrumented
+lock reports its acquisitions to a process-wide
+:class:`LockOrderMonitor`, which keeps a per-thread stack of held locks
+and the union of all *observed* acquisition edges.  The moment an
+acquisition would close a cycle in that graph — i.e. two call paths
+take the same pair of locks in opposite orders — it raises
+:class:`~repro.errors.LintError` carrying a ``T002`` diagnostic,
+**before** blocking on the lock, so the offending path is reported
+instead of deadlocking the process.
+
+Classes opt in through :func:`monitored_lock`::
+
+    self._lock = monitored_lock(f"{type(self).__name__}._lock")
+
+which returns a plain ``threading.Lock`` when sanitizing is off (the
+common case: zero overhead) and a :class:`MonitoredLock` when
+``REPRO_SANITIZE`` is truthy or a :func:`repro.lint.sanitizing` context
+is active — see :func:`repro.lint.sanitize.env_flag` for the accepted
+environment values.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Union
+
+from repro.errors import LintError
+from repro.tsan.registry import guarded_by, holds_lock
+
+__all__ = [
+    "LockOrderMonitor",
+    "MonitoredLock",
+    "lock_order_monitor",
+    "monitored_lock",
+]
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest caller outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - interpreter internals
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+@guarded_by("_mutex", "_edges", "_edge_sites")
+class LockOrderMonitor:
+    """Observed lock-order graph plus per-thread held stacks.
+
+    Thread safety: ``_edges``/``_edge_sites`` are guarded by the
+    monitor's own ``_mutex`` (a *plain* lock — the monitor must not
+    monitor itself); the held stacks live in a ``threading.local`` and
+    are only ever touched by their owning thread.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()  # tsan: ignore[T003]
+        self._edges: dict[str, set[str]] = {}
+        self._edge_sites: dict[tuple[str, str], str] = {}
+        self._held = threading.local()
+
+    # -- per-thread stack ---------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def held_locks(self) -> tuple[str, ...]:
+        """The calling thread's currently held (monitored) locks, outermost first."""
+        return tuple(self._stack())
+
+    # -- protocol driven by MonitoredLock -----------------------------
+
+    def acquiring(self, name: str) -> None:
+        """Record intent to acquire ``name``; raise on a lock-order cycle.
+
+        Must be called *before* blocking on the underlying lock: when
+        the acquisition would close a cycle we want a diagnostic, not a
+        deadlock.
+        """
+        stack = self._stack()
+        if name in stack:
+            self._fail(
+                f"relock of non-reentrant lock {name!r} "
+                f"(already held by this thread; stack: {' -> '.join(stack)})",
+                site=_call_site(),
+            )
+        if not stack:
+            return
+        site = _call_site()
+        with self._mutex:
+            for held in stack:
+                targets = self._edges.setdefault(held, set())
+                if name not in targets:
+                    targets.add(name)
+                    self._edge_sites.setdefault((held, name), site)
+            cycle = self._cycle_back_to_locked(name, set(stack))
+        if cycle is not None:
+            self._fail(
+                "lock-order cycle (potential deadlock): "
+                + " -> ".join([*cycle, cycle[0]])
+                + f"; closing acquisition of {name!r} at {site} "
+                + f"while holding {' -> '.join(stack)}",
+                site=site,
+            )
+
+    def acquired(self, name: str) -> None:
+        """Push ``name`` onto the calling thread's held stack."""
+        self._stack().append(name)
+
+    def released(self, name: str) -> None:
+        """Drop the most recent acquisition of ``name`` by this thread."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # -- graph queries ------------------------------------------------
+
+    @holds_lock("_mutex")
+    def _cycle_back_to_locked(self, start: str,
+                              held: set[str]) -> list[str] | None:
+        """DFS from ``start``: a path back into ``held`` closes a cycle.
+
+        Caller must hold ``_mutex``.
+        """
+        seen: set[str] = set()
+        path: list[str] = []
+
+        def visit(node: str) -> bool:
+            path.append(node)
+            if node in held and len(path) > 1:
+                return True
+            if node in seen:
+                path.pop()
+                return False
+            seen.add(node)
+            for successor in sorted(self._edges.get(node, ())):
+                if visit(successor):
+                    return True
+            path.pop()
+            return False
+
+        return list(path) if visit(start) else None
+
+    def edges(self) -> dict[str, frozenset[str]]:
+        """A snapshot of the observed lock-order graph."""
+        with self._mutex:
+            return {src: frozenset(dst) for src, dst in self._edges.items()}
+
+    def reset(self) -> None:
+        """Forget all observed edges (the calling thread's stack too)."""
+        with self._mutex:
+            self._edges.clear()
+            self._edge_sites.clear()
+        self._held.stack = []
+
+    # -- failure ------------------------------------------------------
+
+    def _fail(self, message: str, site: str) -> None:
+        # Imported here, not at module level: this module sits below
+        # ``repro.obs.metrics`` in the import graph, and ``repro.lint``
+        # transitively imports the obs layer.
+        from repro.lint.diagnostics import make_diagnostic
+
+        diagnostic = make_diagnostic("T002", message, location=site)
+        error = LintError(f"T002: {message}")
+        error.diagnostic = diagnostic  # type: ignore[attr-defined]
+        raise error
+
+
+class MonitoredLock:
+    """A ``threading.Lock`` reporting acquisitions to a :class:`LockOrderMonitor`.
+
+    Context-manager and ``acquire``/``release`` compatible with the
+    stdlib lock, so it can be dropped into any ``self._lock`` slot.
+    """
+
+    def __init__(self, name: str, monitor: LockOrderMonitor | None = None) -> None:
+        self.name = name
+        self._inner = threading.Lock()  # tsan: ignore[T003]
+        self.monitor = monitor if monitor is not None else lock_order_monitor()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self.monitor.acquiring(self.name)
+        # The stdlib lock forbids a timeout with blocking=False.
+        ok = (
+            self._inner.acquire(blocking, timeout)
+            if blocking
+            else self._inner.acquire(False)
+        )
+        if ok:
+            self.monitor.acquired(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self.monitor.released(self.name)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "locked" if self.locked() else "unlocked"
+        return f"MonitoredLock({self.name!r}, {state})"
+
+
+#: The process-wide monitor all :func:`monitored_lock` locks report to.
+_MONITOR = LockOrderMonitor()
+
+
+def lock_order_monitor() -> LockOrderMonitor:
+    """The process-wide :class:`LockOrderMonitor` singleton."""
+    return _MONITOR
+
+
+def monitored_lock(name: str) -> Union[MonitoredLock, threading.Lock]:
+    """A lock for ``self._lock`` slots: instrumented iff sanitizing is on.
+
+    The sanitize decision is taken *here*, at lock creation (usually
+    object construction): long-lived objects created before
+    ``REPRO_SANITIZE`` is consulted keep plain locks.
+    """
+    from repro.lint.sanitize import sanitize_enabled
+
+    if sanitize_enabled():
+        return MonitoredLock(name)
+    return threading.Lock()

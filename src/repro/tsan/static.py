@@ -1,0 +1,745 @@
+"""The AST self-lint behind ``repro lint --self`` (``Txxx`` codes).
+
+Two passes over the Python sources of the package itself:
+
+1. **Collection** builds a whole-program class table: for every class,
+   the ``@guarded_by`` / ``@holds_lock`` declarations (read straight out
+   of the decorator syntax — the analyzed modules are *never*
+   imported), the lock attributes it assigns, the classes its instance
+   attributes are constructed from, and which of its methods acquire
+   which of its locks.
+2. **Checking** walks every function with a flow context of currently
+   held locks (entered ``with R.<lock>`` blocks) and emits:
+
+   * ``T001`` — read/write of a guarded attribute, or call of a
+     ``@holds_lock`` method, without holding the declared lock;
+   * ``T002`` — a cycle in the whole-program lock-order graph, whose
+     edges are lexically nested acquisitions plus one level of
+     call-through (``with A._lock: obj.method()`` where ``method`` is
+     known to take ``B._lock``);
+   * ``T003`` — a lock-valued attribute on a class with no
+     ``@guarded_by`` declaration for it;
+   * ``T004`` — bare ``==``/``!=`` against a non-integral float
+     literal (integral sentinels like ``t == 0.0`` are fine — they are
+     exact in binary floating point and used deliberately);
+   * ``T005`` — a builtin ``sum()`` whose argument mentions rates:
+     accumulation order changes the result in floating point, which is
+     exactly the drift ``P006`` exists to catch downstream.  Use
+     ``math.fsum`` (order-independent, correctly rounded) or the
+     quantizing :func:`repro.bisim.signatures.stable_rate_sum`.
+
+``repro/bisim/signatures.py`` is exempt from T004/T005: it *is* the
+sanctioned home of float comparison and rate summation policy.
+
+Escape hatch: a trailing ``# tsan: ignore[T001]`` (or a blanket
+``# tsan: ignore``) suppresses findings on that line.
+
+The analysis is deliberately syntactic and conservative in what it
+*claims*: receivers are resolved only through ``self``, annotated
+parameters, ``self.x = ClassName(...)`` constructor assignments and
+local ``x = ClassName(...)`` bindings; anything unresolved is skipped,
+never guessed.  That keeps the pass fast (<1 s over the tree) and
+false-positive-free at the cost of not chasing aliases — the runtime
+sanitizer (:mod:`repro.tsan.runtime`) covers what escapes it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.diagnostics import Diagnostic, LintReport, make_diagnostic
+
+__all__ = ["lint_self", "lint_source", "source_root"]
+
+#: Modules (by ``/``-normalised suffix) exempt from the numeric idiom
+#: rules T004/T005 — the one place float policy is allowed to live.
+NUMERIC_EXEMPT_SUFFIXES: tuple[str, ...] = ("repro/bisim/signatures.py",)
+
+#: Methods where unguarded ``self`` access is fine: the instance is not
+#: yet (or no longer) reachable from other threads.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__del__"})
+
+#: Call targets (final name segment) whose result is a lock.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "monitored_lock", "CooperativeLock"})
+
+#: Final attribute-name fragments that mark a ``with`` target as a lock
+#: acquisition even when the receiver's class cannot be resolved.
+_LOCKISH_FRAGMENTS = ("lock", "mutex")
+
+_IGNORE_RE = re.compile(r"#\s*tsan:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def source_root() -> Path:
+    """The ``src/`` directory containing the installed ``repro`` package."""
+    return Path(__file__).resolve().parents[2]
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: collection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ClassInfo:
+    """Everything the checker needs to know about one class."""
+
+    name: str
+    bases: tuple[str, ...] = ()
+    #: lock attribute -> guarded attribute names (from ``@guarded_by``).
+    guards: dict[str, set[str]] = field(default_factory=dict)
+    #: method name -> lock attribute it assumes held (from ``@holds_lock``).
+    holds: dict[str, str] = field(default_factory=dict)
+    #: attributes assigned a lock-valued expression anywhere in the class.
+    lock_attrs: set[str] = field(default_factory=set)
+    #: instance attribute -> name of the class it is constructed from.
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: method name -> lock attributes it acquires via ``with self.<lock>``.
+    method_acquires: dict[str, set[str]] = field(default_factory=dict)
+    #: lock attribute -> line where it is first assigned (for T003).
+    lock_lines: dict[str, int] = field(default_factory=dict)
+
+    def guard_for(self, attr: str) -> str | None:
+        """The lock attribute guarding ``attr``, if declared."""
+        for lock_attr, attrs in self.guards.items():
+            if attr in attrs:
+                return lock_attr
+        return None
+
+    def lock_names(self) -> set[str]:
+        return set(self.guards) | self.lock_attrs
+
+
+def _final_name(node: ast.expr) -> str | None:
+    """The last identifier of a ``Name``/``Attribute`` chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _decorator_call(node: ast.expr, name: str) -> ast.Call | None:
+    """Return ``node`` as a ``Call`` of decorator ``name`` (possibly dotted)."""
+    if isinstance(node, ast.Call) and _final_name(node.func) == name:
+        return node
+    return None
+
+
+def _string_args(call: ast.Call) -> list[str] | None:
+    """All positional args as strings, or ``None`` if any is non-literal."""
+    out: list[str] = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            out.append(arg.value)
+        else:
+            return None
+    return out
+
+
+def _collect_class(node: ast.ClassDef) -> _ClassInfo:
+    info = _ClassInfo(
+        name=node.name,
+        bases=tuple(b for b in (_final_name(base) for base in node.bases) if b),
+    )
+    for decorator in node.decorator_list:
+        call = _decorator_call(decorator, "guarded_by")
+        if call is not None:
+            args = _string_args(call)
+            if args and len(args) >= 2:
+                info.guards.setdefault(args[0], set()).update(args[1:])
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in item.decorator_list:
+            call = _decorator_call(decorator, "holds_lock")
+            if call is not None:
+                args = _string_args(call)
+                if args and len(args) == 1:
+                    info.holds[item.name] = args[0]
+        _scan_method_for_collection(item, info)
+    return info
+
+
+def _scan_method_for_collection(method: ast.FunctionDef | ast.AsyncFunctionDef,
+                                info: _ClassInfo) -> None:
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = _final_name(node.value.func)
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    if callee in _LOCK_FACTORIES:
+                        info.lock_attrs.add(target.attr)
+                        info.lock_lines.setdefault(target.attr, node.lineno)
+                    elif callee:
+                        info.attr_types.setdefault(target.attr, callee)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and _looks_like_lock(expr.attr)
+                ):
+                    info.method_acquires.setdefault(method.name, set()).add(expr.attr)
+
+
+def _looks_like_lock(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _LOCKISH_FRAGMENTS)
+
+
+def _merge_inherited(table: dict[str, _ClassInfo]) -> None:
+    """Fold base-class declarations into subclasses (chains up to depth 3)."""
+    for _ in range(3):
+        for info in table.values():
+            for base_name in info.bases:
+                base = table.get(base_name)
+                if base is None or base is info:
+                    continue
+                for lock_attr, attrs in base.guards.items():
+                    info.guards.setdefault(lock_attr, set()).update(attrs)
+                for method, lock_attr in base.holds.items():
+                    info.holds.setdefault(method, lock_attr)
+                info.lock_attrs |= base.lock_attrs
+                for attr, type_name in base.attr_types.items():
+                    info.attr_types.setdefault(attr, type_name)
+                for method, acquired in base.method_acquires.items():
+                    info.method_acquires.setdefault(method, set()).update(acquired)
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: checking
+# ---------------------------------------------------------------------------
+
+
+class _FileChecker:
+    """Checks one parsed module against the whole-program class table."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        lines: Sequence[str],
+        relpath: str,
+        table: dict[str, _ClassInfo],
+        graph: dict[tuple[str, str], str],
+    ) -> None:
+        self.tree = tree
+        self.lines = lines
+        self.relpath = relpath
+        self.table = table
+        self.graph = graph  # (from_node, to_node) -> first-seen location
+        self.numeric_exempt = any(
+            relpath.replace("\\", "/").endswith(suffix)
+            for suffix in NUMERIC_EXEMPT_SUFFIXES
+        )
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- reporting ----------------------------------------------------
+
+    def _suppressed(self, lineno: int, code: str) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        match = _IGNORE_RE.search(self.lines[lineno - 1])
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return code in {part.strip() for part in listed.split(",")}
+
+    def _report(self, code: str, lineno: int, message: str) -> None:
+        if self._suppressed(lineno, code):
+            return
+        self.diagnostics.append(
+            make_diagnostic(code, message, location=f"{self.relpath}:{lineno}")
+        )
+
+    # -- entry --------------------------------------------------------
+
+    def run(self) -> None:
+        self._check_module_body(self.tree.body, classinfo=None)
+        self._check_lock_declarations()
+
+    def _check_lock_declarations(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = self.table.get(node.name)
+            if info is None:
+                continue
+            for lock_attr in sorted(info.lock_attrs):
+                if lock_attr not in info.guards:
+                    self._report(
+                        "T003",
+                        info.lock_lines.get(lock_attr, node.lineno),
+                        f"{info.name}.{lock_attr} holds a lock but the class "
+                        f"declares no @guarded_by({lock_attr!r}, ...) discipline",
+                    )
+
+    def _check_module_body(self, body: Iterable[ast.stmt],
+                           classinfo: _ClassInfo | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                info = self.table.get(stmt.name)
+                self._check_module_body(stmt.body, classinfo=info)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(stmt, classinfo)
+            else:
+                ctx = _Context(classinfo=None, funcname="<module>", env={},
+                               exempt_self=False, holds_lock=None)
+                self._scan(stmt, ctx)
+
+    # -- per-function analysis ----------------------------------------
+
+    def _check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                        classinfo: _ClassInfo | None,
+                        inherited: "_Context | None" = None) -> None:
+        env = self._build_env(func, classinfo)
+        holds = classinfo.holds.get(func.name) if classinfo else None
+        exempt = func.name in _EXEMPT_METHODS
+        if inherited is not None:
+            env = {**inherited.env, **env}
+            holds = holds or inherited.holds_lock
+            exempt = exempt or inherited.exempt_self
+        ctx = _Context(
+            classinfo=classinfo,
+            funcname=func.name,
+            env=env,
+            exempt_self=exempt,
+            holds_lock=holds,
+        )
+        for stmt in func.body:
+            self._scan(stmt, ctx)
+
+    def _build_env(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                   classinfo: _ClassInfo | None) -> dict[str, str]:
+        env: dict[str, str] = {}
+        args = func.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            resolved = self._annotation_class(arg.annotation)
+            if resolved:
+                env[arg.arg] = resolved
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                callee = _final_name(node.value.func)
+                if callee in self.table:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            env.setdefault(target.id, callee)
+        return env
+
+    def _annotation_class(self, annotation: ast.expr | None) -> str | None:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            text = annotation.value
+        else:
+            try:
+                text = ast.unparse(annotation)
+            except Exception:  # pragma: no cover - malformed annotation
+                return None
+        for word in _WORD_RE.findall(text):
+            if word in self.table:
+                return word
+        return None
+
+    def _resolve(self, node: ast.expr, ctx: "_Context") -> _ClassInfo | None:
+        """Resolve a receiver expression to a class, or ``None``."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and ctx.classinfo is not None:
+                return ctx.classinfo
+            name = ctx.env.get(node.id)
+            return self.table.get(name) if name else None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and ctx.classinfo is not None
+        ):
+            name = ctx.classinfo.attr_types.get(node.attr)
+            return self.table.get(name) if name else None
+        return None
+
+    def _scan(self, node: ast.AST, ctx: "_Context") -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._scan_with(node, ctx)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: fresh flow context (it may run later, when
+            # the enclosing locks are no longer held), same class scope.
+            # Method-level contracts (@holds_lock, __init__ exemption) do
+            # carry over — a closure is part of the method's body.
+            self._check_function(node, ctx.classinfo, inherited=ctx)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._check_module_body(node.body, classinfo=self.table.get(node.name))
+            return
+        if isinstance(node, ast.Attribute):
+            self._check_attribute(node, ctx)
+        elif isinstance(node, ast.Call):
+            self._check_call(node, ctx)
+        elif isinstance(node, ast.Compare):
+            self._check_compare(node)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, ctx)
+
+    def _scan_with(self, node: ast.With | ast.AsyncWith, ctx: "_Context") -> None:
+        acquired: list[tuple[str, str] | None] = []
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            self._scan(expr, ctx)
+            if item.optional_vars is not None:
+                self._scan(item.optional_vars, ctx)
+            entry = self._lock_acquisition(expr, ctx)
+            acquired.append(entry)
+            if entry is None:
+                continue
+            ctx.held.add(entry)
+            receiver_key, lock_attr = entry
+            resolved = self._resolve(expr.value, ctx) if isinstance(expr, ast.Attribute) else None
+            if resolved is not None and lock_attr in resolved.lock_names():
+                node_name = f"{resolved.name}.{lock_attr}"
+                self._add_edges(node_name, expr.lineno, ctx)
+                ctx.node_stack.append(node_name)
+                pushed += 1
+        for stmt in node.body:
+            self._scan(stmt, ctx)
+        for entry in acquired:
+            if entry is not None:
+                ctx.held.discard(entry)
+        for _ in range(pushed):
+            ctx.node_stack.pop()
+
+    def _lock_acquisition(self, expr: ast.expr,
+                          ctx: "_Context") -> tuple[str, str] | None:
+        """Classify a with-item as a lock acquisition ``(receiver_key, lock)``."""
+        if isinstance(expr, ast.Attribute):
+            final = expr.attr
+            resolved = self._resolve(expr.value, ctx)
+            if resolved is not None and final in resolved.lock_names():
+                return (_unparse(expr.value), final)
+            if _looks_like_lock(final):
+                return (_unparse(expr.value), final)
+        elif isinstance(expr, ast.Name) and _looks_like_lock(expr.id):
+            return ("", expr.id)
+        return None
+
+    def _add_edges(self, node_name: str, lineno: int, ctx: "_Context") -> None:
+        location = f"{self.relpath}:{lineno}"
+        for held_node in ctx.node_stack:
+            self.graph.setdefault((held_node, node_name), location)
+
+    # -- T001 ---------------------------------------------------------
+
+    def _held(self, receiver: ast.expr, lock_attr: str, ctx: "_Context") -> bool:
+        is_self = isinstance(receiver, ast.Name) and receiver.id == "self"
+        if is_self and (ctx.exempt_self or ctx.holds_lock == lock_attr):
+            return True
+        return (_unparse(receiver), lock_attr) in ctx.held
+
+    def _check_attribute(self, node: ast.Attribute, ctx: "_Context") -> None:
+        resolved = self._resolve(node.value, ctx)
+        if resolved is None:
+            return
+        lock_attr = resolved.guard_for(node.attr)
+        if lock_attr is None:
+            return
+        if self._held(node.value, lock_attr, ctx):
+            return
+        access = "written" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+        self._report(
+            "T001",
+            node.lineno,
+            f"{resolved.name}.{node.attr} is guarded by "
+            f"{resolved.name}.{lock_attr} but {access} without holding it "
+            f"(in {ctx.funcname})",
+        )
+
+    def _check_call(self, node: ast.Call, ctx: "_Context") -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            resolved = self._resolve(func.value, ctx)
+            if resolved is not None:
+                held_lock = resolved.holds.get(func.attr)
+                if held_lock is not None and not self._held(func.value, held_lock, ctx):
+                    self._report(
+                        "T001",
+                        node.lineno,
+                        f"{resolved.name}.{func.attr}() requires the caller to "
+                        f"hold {resolved.name}.{held_lock} (declared "
+                        f"@holds_lock) but it is not held in {ctx.funcname}",
+                    )
+                # Call-through lock-order edges: the callee will acquire
+                # its own locks while we hold ours.
+                for lock_attr in resolved.method_acquires.get(func.attr, ()):
+                    self._add_edges(f"{resolved.name}.{lock_attr}", node.lineno, ctx)
+        if (
+            not self.numeric_exempt
+            and isinstance(func, ast.Name)
+            and func.id == "sum"
+            and node.args
+            and _mentions_rates(node.args[0])
+        ):
+            self._report(
+                "T005",
+                node.lineno,
+                f"order-dependent builtin sum() over rates: "
+                f"`{_unparse(node)[:80]}` -- use math.fsum or "
+                f"repro.bisim.signatures.stable_rate_sum",
+            )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        if self.numeric_exempt:
+            return
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for operand in (node.left, *node.comparators):
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                and not operand.value.is_integer()
+            ):
+                self._report(
+                    "T004",
+                    node.lineno,
+                    f"bare float equality against {operand.value!r}: "
+                    f"`{_unparse(node)[:80]}` -- compare quantized values "
+                    f"(repro.bisim.signatures) or use an explicit tolerance",
+                )
+                return
+
+
+@dataclass
+class _Context:
+    """Flow state while scanning one function body."""
+
+    classinfo: _ClassInfo | None
+    funcname: str
+    env: dict[str, str]
+    exempt_self: bool
+    holds_lock: str | None
+    held: set[tuple[str, str]] = field(default_factory=set)
+    node_stack: list[str] = field(default_factory=list)
+
+
+def _unparse(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return "<expr>"
+
+
+def _mentions_rates(node: ast.expr) -> bool:
+    """True when the expression mentions a rate-named identifier.
+
+    Matching is token-wise on underscore-split identifier parts
+    (``total_rate`` and ``rates`` match; ``generated`` does not).
+    """
+    for sub in ast.walk(node):
+        name: str | None = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.arg):
+            name = sub.arg
+        if name is None:
+            continue
+        tokens = name.lower().split("_")
+        if "rate" in tokens or "rates" in tokens:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Lock-order cycle detection (T002)
+# ---------------------------------------------------------------------------
+
+
+def _lock_order_cycles(
+    graph: dict[tuple[str, str], str],
+) -> list[tuple[tuple[str, ...], str]]:
+    """All elementary cycles' node sets, each with one witnessing location.
+
+    Tarjan SCCs: any strongly connected component with more than one
+    node — or a self-edge — means two threads can acquire the involved
+    locks in opposite orders.  One diagnostic per component keeps the
+    output readable.
+    """
+    adjacency: dict[str, set[str]] = {}
+    for (src, dst), _ in graph.items():
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    components: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        # Iterative Tarjan (the lock graph is tiny, but recursion limits
+        # are not worth tripping in a linter).
+        work = [(root, iter(sorted(adjacency[root])))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(adjacency[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in sorted(adjacency):
+        if node not in index_of:
+            strongconnect(node)
+
+    cycles: list[tuple[tuple[str, ...], str]] = []
+    for component in components:
+        members = sorted(component)
+        cyclic = len(members) > 1 or (members[0], members[0]) in graph
+        if not cyclic:
+            continue
+        witness = min(
+            location
+            for (src, dst), location in graph.items()
+            if src in component and dst in component
+        )
+        cycles.append((tuple(members), witness))
+    return sorted(cycles)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_source(
+    paths: Sequence[Path],
+    root: Path | None = None,
+) -> list[Diagnostic]:
+    """Run the concurrency/numeric self-lint over ``paths``.
+
+    ``root`` anchors the relative paths used in diagnostic locations;
+    files outside it fall back to their base name.  All files share one
+    class table and one lock-order graph, so declarations in one module
+    are visible while checking another.
+    """
+    parsed: list[tuple[str, ast.Module, list[str]]] = []
+    diagnostics: list[Diagnostic] = []
+    table: dict[str, _ClassInfo] = {}
+    for path in sorted(paths):
+        relpath = _relative_name(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError) as exc:
+            diagnostics.append(
+                make_diagnostic(
+                    "T003",
+                    f"unreadable or unparsable module: {exc}",
+                    location=relpath,
+                )
+            )
+            continue
+        parsed.append((relpath, tree, source.splitlines()))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                info = _collect_class(node)
+                existing = table.get(info.name)
+                if existing is None:
+                    table[info.name] = info
+                else:
+                    _merge_duplicate(existing, info)
+    _merge_inherited(table)
+
+    graph: dict[tuple[str, str], str] = {}
+    for relpath, tree, lines in parsed:
+        checker = _FileChecker(tree, lines, relpath, table, graph)
+        checker.run()
+        diagnostics.extend(checker.diagnostics)
+
+    for members, witness in _lock_order_cycles(graph):
+        diagnostics.append(
+            make_diagnostic(
+                "T002",
+                "lock-order cycle (potential deadlock): "
+                + " <-> ".join(members)
+                + f"; first conflicting acquisition at {witness}",
+                location=witness,
+            )
+        )
+    return diagnostics
+
+
+def lint_self(root: Path | None = None) -> LintReport:
+    """Lint the installed ``repro`` package tree itself."""
+    base = root if root is not None else source_root()
+    files = sorted(
+        path
+        for path in (base / "repro").rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+    report = LintReport(target=f"{base / 'repro'} (self)", kind="python")
+    report.extend(lint_source(files, root=base))
+    return report
+
+
+def _relative_name(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+def _merge_duplicate(existing: _ClassInfo, incoming: _ClassInfo) -> None:
+    """Union declarations of same-named classes in different modules."""
+    for lock_attr, attrs in incoming.guards.items():
+        existing.guards.setdefault(lock_attr, set()).update(attrs)
+    existing.holds.update(incoming.holds)
+    existing.lock_attrs |= incoming.lock_attrs
+    for attr, type_name in incoming.attr_types.items():
+        existing.attr_types.setdefault(attr, type_name)
+    for method, acquired in incoming.method_acquires.items():
+        existing.method_acquires.setdefault(method, set()).update(acquired)
+    for lock_attr, lineno in incoming.lock_lines.items():
+        existing.lock_lines.setdefault(lock_attr, lineno)

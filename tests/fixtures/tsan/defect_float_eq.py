@@ -1,0 +1,18 @@
+"""Planted defect: bare float equality against a non-integral literal (T004).
+
+``0.1 + 0.2 == 0.3`` is the canonical binary-float trap; rate
+comparisons must go through a tolerance (``math.isclose`` or the
+quantised rate signatures of ``repro.bisim.signatures``).
+"""
+
+from __future__ import annotations
+
+
+def is_service_rate(rate: float) -> bool:
+    # BUG: exact equality on a non-representable decimal.
+    return rate == 0.3
+
+
+def is_not_service_rate(rate: float) -> bool:
+    # BUG: same trap through !=.
+    return rate != 0.3

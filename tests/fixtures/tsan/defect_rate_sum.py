@@ -1,0 +1,20 @@
+"""Planted defect: order-dependent ``sum()`` over rates (T005).
+
+Built-in ``sum`` accumulates left to right, so the result depends on
+iteration order; rate totals feed uniformity checks and bisimulation
+signatures, which must not change when a dict happens to iterate
+differently.  Use ``math.fsum`` (order-independent, correctly rounded)
+or the quantised signature helpers instead.
+"""
+
+from __future__ import annotations
+
+
+def exit_rate(rates: dict[int, float]) -> float:
+    # BUG: order-dependent accumulation of a rate function.
+    return sum(rates.values())
+
+
+def total_rate(rate_list: list[float]) -> float:
+    # BUG: same, over a list of rates.
+    return sum(rate_list)

@@ -13,6 +13,7 @@ from repro.lint import (
     Severity,
     code_title,
     make_diagnostic,
+    render_code_table,
     sort_diagnostics,
 )
 
@@ -20,7 +21,7 @@ from repro.lint import (
 class TestCodes:
     def test_registry_shape(self):
         for code, (severity, title) in CODES.items():
-            assert len(code) == 4 and code[0] in "UANSGPQ", code
+            assert len(code) == 4 and code[0] in "UANSGPQT", code
             assert isinstance(severity, Severity)
             assert title
 
@@ -29,6 +30,13 @@ class TestCodes:
         assert code_title("U001") == "non-uniform exit rates"
         assert "alternation" in code_title("A003")
         assert "NaN" in code_title("N002")
+
+    def test_self_lint_codes_present(self):
+        assert "without its lock" in code_title("T001")
+        assert "deadlock" in code_title("T002")
+        assert "@guarded_by" in code_title("T003")
+        assert "float equality" in code_title("T004")
+        assert "sum()" in code_title("T005")
 
     def test_make_diagnostic_defaults_severity(self):
         d = make_diagnostic("U001", "rates differ")
@@ -45,18 +53,33 @@ class TestCodes:
         assert d.severity is Severity.ERROR
 
     def test_docs_table_in_sync_with_registry(self):
+        # docs/lint.md embeds the output of render_code_table() between
+        # the codes:begin/codes:end markers; regenerate with
+        # ``python -m repro.lint.diagnostics``.
         docs = Path(__file__).parents[2] / "docs" / "lint.md"
+        text = docs.read_text(encoding="utf-8")
+        match = re.search(
+            r"<!-- codes:begin -->\n(.*?)<!-- codes:end -->",
+            text,
+            flags=re.DOTALL,
+        )
+        assert match is not None, "docs/lint.md lost its codes:begin/end markers"
+        assert match.group(1).strip() == render_code_table().strip(), (
+            "docs/lint.md code table is stale; regenerate with "
+            "`python -m repro.lint.diagnostics`"
+        )
+
+    def test_render_code_table_covers_registry(self):
+        table = render_code_table()
         rows = re.findall(
-            r"^\| ([UANSGPQ]\d{3}) \| (error|warning)\s*\| (.+?) \|$",
-            docs.read_text(encoding="utf-8"),
+            r"^\| ([A-Z]\d{3}) \| (error|warning) \| (.+?) \|$",
+            table,
             flags=re.MULTILINE,
         )
-        documented = {code: (sev, title) for code, sev, title in rows}
-        assert set(documented) == set(CODES)
-        for code, (severity, title) in CODES.items():
-            doc_severity, doc_title = documented[code]
-            assert doc_severity == severity.value, code
-            assert doc_title.strip() == title, code
+        assert {code for code, _, _ in rows} == set(CODES)
+        for code, severity, title in rows:
+            assert CODES[code][0].value == severity, code
+            assert CODES[code][1] == title, code
 
 
 class TestDiagnostic:

@@ -8,7 +8,7 @@ from repro.engine.plan import Query
 from repro.engine.registry import ModelRegistry
 from repro.engine.solver import QueryEngine
 from repro.errors import LintError
-from repro.lint import sanitize_enabled, sanitize_model, sanitizing
+from repro.lint import env_flag, sanitize_enabled, sanitize_model, sanitizing
 
 SPEC = {"family": "ftwc", "n": 1}
 
@@ -43,6 +43,39 @@ class TestEnabling:
         monkeypatch.delenv("REPRO_SANITIZE", raising=False)
         with sanitizing(enabled=False):
             assert not sanitize_enabled()
+
+
+class TestEnvFlag:
+    FLAG = "REPRO_TEST_FLAG"
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv(self.FLAG, raising=False)
+        assert env_flag(self.FLAG) is False
+        assert env_flag(self.FLAG, default=True) is True
+
+    def test_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "True", "YES", "on", " on ", "ON"):
+            monkeypatch.setenv(self.FLAG, value)
+            assert env_flag(self.FLAG) is True, value
+
+    def test_falsy_values(self, monkeypatch):
+        # An explicit falsy value wins even over default=True: setting
+        # REPRO_SANITIZE=0 must actually turn the sanitizer off.
+        for value in ("", "0", "false", "False", "NO", "off", " Off "):
+            monkeypatch.setenv(self.FLAG, value)
+            assert env_flag(self.FLAG) is False, value
+            assert env_flag(self.FLAG, default=True) is False, value
+
+    def test_unrecognized_value_warns_and_fails_safe(self, monkeypatch):
+        monkeypatch.setenv(self.FLAG, "enabled")
+        with pytest.warns(UserWarning, match="REPRO_TEST_FLAG"):
+            assert env_flag(self.FLAG) is True
+
+    def test_sanitize_enabled_uses_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "off")
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "on")
+        assert sanitize_enabled()
 
 
 class TestSanitizeModel:

@@ -1,0 +1,147 @@
+"""Tests for the runtime lock-order sanitizer (monitored locks)."""
+
+import threading
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import sanitizing
+from repro.tsan.runtime import (
+    LockOrderMonitor,
+    MonitoredLock,
+    lock_order_monitor,
+    monitored_lock,
+)
+
+
+@pytest.fixture()
+def monitor() -> LockOrderMonitor:
+    return LockOrderMonitor()
+
+
+def locked_pair(monitor: LockOrderMonitor) -> tuple[MonitoredLock, MonitoredLock]:
+    return (
+        MonitoredLock("A", monitor=monitor),
+        MonitoredLock("B", monitor=monitor),
+    )
+
+
+class TestLockOrderMonitor:
+    def test_consistent_order_is_silent(self, monitor):
+        a, b = locked_pair(monitor)
+        for _ in range(3):
+            with a, b:
+                pass
+        assert monitor.edges() == {"A": frozenset({"B"})}
+
+    def test_opposite_orders_raise_t002_in_one_thread(self, monitor):
+        # The classic ABBA deadlock, detected from *observed* edges
+        # without any second thread: A->B is recorded, then the B->A
+        # nesting closes the cycle before blocking.
+        a, b = locked_pair(monitor)
+        with a, b:
+            pass
+        with b:
+            with pytest.raises(LintError, match="T002") as excinfo:
+                a.acquire()
+        diagnostic = excinfo.value.diagnostic
+        assert diagnostic.code == "T002"
+        assert "A" in diagnostic.message and "B" in diagnostic.message
+
+    def test_failed_acquire_leaves_stack_clean(self, monitor):
+        a, b = locked_pair(monitor)
+        with a, b:
+            pass
+        with b:
+            with pytest.raises(LintError):
+                a.acquire()
+        assert monitor.held_locks() == ()
+        # B itself can still be taken alone.
+        with b:
+            assert monitor.held_locks() == ("B",)
+
+    def test_relock_is_reported(self, monitor):
+        a, _ = locked_pair(monitor)
+        with a:
+            with pytest.raises(LintError, match="relock"):
+                a.acquire()
+
+    def test_three_lock_cycle(self, monitor):
+        a = MonitoredLock("A", monitor=monitor)
+        b = MonitoredLock("B", monitor=monitor)
+        c = MonitoredLock("C", monitor=monitor)
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c:
+            with pytest.raises(LintError, match="T002"):
+                a.acquire()
+
+    def test_held_stacks_are_per_thread(self, monitor):
+        a, b = locked_pair(monitor)
+        seen: list[tuple[str, ...]] = []
+
+        def other() -> None:
+            with b:
+                seen.append(monitor.held_locks())
+
+        with a:
+            worker = threading.Thread(target=other)
+            worker.start()
+            worker.join()
+            assert monitor.held_locks() == ("A",)
+        assert seen == [("B",)]
+
+    def test_reset_forgets_edges(self, monitor):
+        a, b = locked_pair(monitor)
+        with a, b:
+            pass
+        monitor.reset()
+        assert monitor.edges() == {}
+        with b, a:  # would have been a cycle before the reset
+            pass
+
+
+class TestMonitoredLockFactory:
+    def test_plain_lock_when_sanitizing_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        lock = monitored_lock("test.plain")
+        assert not isinstance(lock, MonitoredLock)
+        with lock:
+            pass
+
+    def test_monitored_lock_under_sanitizing_context(self):
+        with sanitizing():
+            lock = monitored_lock("test.monitored")
+        assert isinstance(lock, MonitoredLock)
+        assert lock.monitor is lock_order_monitor()
+        lock.monitor.reset()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_monitored_lock_under_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "yes")
+        lock = monitored_lock("test.env")
+        assert isinstance(lock, MonitoredLock)
+        lock.monitor.reset()
+
+    def test_annotated_classes_arm_under_sanitizing(self):
+        # The real telemetry classes pick their lock flavour at
+        # construction time via monitored_lock.
+        from repro.obs.metrics import MetricStore
+
+        lock_order_monitor().reset()
+        with sanitizing():
+            store = MetricStore()
+        assert isinstance(store._lock, MonitoredLock)
+        store.count("pushes")
+        assert store.counter("pushes") == 1
+        lock_order_monitor().reset()
+
+    def test_non_blocking_acquire(self, monitor):
+        lock = MonitoredLock("N", monitor=monitor)
+        assert lock.acquire(blocking=False)
+        lock.release()
+        assert monitor.held_locks() == ()
